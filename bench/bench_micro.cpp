@@ -1,0 +1,83 @@
+// Microbenchmarks (google-benchmark): garbling primitives and protocol
+// throughput. These are our own instrumentation, not a paper table: the
+// paper's metric is communication, but local compute must stay linear
+// (SkipGate's complexity argument, §3.4).
+#include <benchmark/benchmark.h>
+
+#include "builder/circuit_builder.h"
+#include "builder/stdlib.h"
+#include "core/skipgate.h"
+#include "crypto/aes128.h"
+#include "crypto/prf.h"
+#include "gc/garble.h"
+
+using namespace arm2gc;
+
+static void BM_Aes128Encrypt(benchmark::State& state) {
+  const crypto::Aes128 aes(crypto::block_from_u64(1));
+  crypto::Block x = crypto::block_from_u64(2);
+  for (auto _ : state) {
+    x = aes.encrypt(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Aes128Encrypt);
+
+static void BM_GarbleHash(benchmark::State& state) {
+  const crypto::GarbleHash h;
+  crypto::Block x = crypto::block_from_u64(3);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    x = h(x, t++);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_GarbleHash);
+
+static void BM_HalfGatesGarble(benchmark::State& state) {
+  gc::Garbler g(crypto::block_from_u64(4));
+  const crypto::Block a0 = g.fresh_label();
+  const crypto::Block b0 = g.fresh_label();
+  const netlist::AndCore core = netlist::tt_and_core(netlist::kTtAnd);
+  for (auto _ : state) {
+    gc::GarbledTable t;
+    benchmark::DoNotOptimize(g.garble(a0, b0, core, t));
+  }
+}
+BENCHMARK(BM_HalfGatesGarble);
+
+static void BM_HalfGatesEval(benchmark::State& state) {
+  gc::Garbler g(crypto::block_from_u64(5));
+  gc::Evaluator e;
+  const crypto::Block a0 = g.fresh_label();
+  const crypto::Block b0 = g.fresh_label();
+  gc::GarbledTable t;
+  const crypto::Block w0 = g.garble(a0, b0, netlist::tt_and_core(netlist::kTtAnd), t);
+  benchmark::DoNotOptimize(w0);
+  for (auto _ : state) {
+    gc::Evaluator fresh;
+    benchmark::DoNotOptimize(fresh.eval(a0, b0, t));
+  }
+}
+BENCHMARK(BM_HalfGatesEval);
+
+/// End-to-end protocol throughput on a 32x32 multiplier, per mode.
+static void BM_ProtocolMul32(benchmark::State& state) {
+  builder::CircuitBuilder cb;
+  const builder::Bus a = cb.input_bus(netlist::Owner::Alice, 32, 0);
+  const builder::Bus b = cb.input_bus(netlist::Owner::Bob, 32, 0);
+  cb.output_bus(builder::mul_lower(cb, a, b, 32));
+  const netlist::Netlist nl = cb.take();
+  netlist::BitVec av(32, true), bv(32, false);
+  core::RunOptions opts;
+  opts.mode = state.range(0) == 0 ? core::Mode::SkipGate : core::Mode::Conventional;
+  opts.fixed_cycles = 1;
+  for (auto _ : state) {
+    core::SkipGateDriver driver(nl, opts);
+    benchmark::DoNotOptimize(driver.run(av, bv));
+  }
+  state.SetLabel(state.range(0) == 0 ? "skipgate" : "conventional");
+}
+BENCHMARK(BM_ProtocolMul32)->Arg(0)->Arg(1);
+
+BENCHMARK_MAIN();

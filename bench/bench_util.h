@@ -1,0 +1,40 @@
+// Shared table-printing helpers for the paper-reproduction benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace benchutil {
+
+inline void header(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+inline void row4(const std::string& name, const std::string& c1, const std::string& c2,
+                 const std::string& c3, const std::string& c4) {
+  std::printf("%-22s %16s %16s %16s %12s\n", name.c_str(), c1.c_str(), c2.c_str(), c3.c_str(),
+              c4.c_str());
+}
+
+inline std::string num(std::uint64_t v) {
+  std::string s = std::to_string(v);
+  for (int pos = static_cast<int>(s.size()) - 3; pos > 0; pos -= 3) {
+    s.insert(static_cast<std::size_t>(pos), ",");
+  }
+  return s;
+}
+
+inline std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f%%", v);
+  return buf;
+}
+
+inline std::string ratio_k(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0fx", v);
+  return buf;
+}
+
+}  // namespace benchutil

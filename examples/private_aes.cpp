@@ -1,0 +1,37 @@
+// Two-party AES: Bob holds a key, Alice a plaintext block; they compute the
+// ciphertext without revealing either (a classic GC benchmark, e.g. for
+// oblivious PRF evaluation). Runs on the sequential AES circuit with the
+// tower-field S-box; SkipGate skips the public key-schedule controller.
+#include <cstdio>
+
+#include "circuits/reference.h"
+#include "circuits/tg_circuits.h"
+
+int main() {
+  using namespace arm2gc;
+
+  std::array<std::uint8_t, 16> pt{}, key{};
+  for (int i = 0; i < 16; ++i) {
+    pt[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(0xA0 + i);
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(2 * i + 1);
+  }
+
+  const circuits::TgInstance inst = circuits::tg_aes128(pt, key);
+  const circuits::TgRun run = circuits::run_instance(inst, core::Mode::SkipGate);
+  const auto expect = circuits::aes128_encrypt(key, pt);
+
+  std::printf("two-party AES-128 (Alice: plaintext, Bob: key)\n");
+  std::printf("ciphertext: ");
+  for (int w = 0; w < 2; ++w) {
+    for (int b = 0; b < 8; ++b) {
+      std::printf("%02x", static_cast<unsigned>((run.results[static_cast<std::size_t>(w)] >>
+                                                 (8 * b)) & 0xff));
+    }
+  }
+  std::printf("\nreference : ");
+  for (const std::uint8_t b : expect) std::printf("%02x", b);
+  std::printf("\ngarbled non-XOR: %llu (paper: 6,400 with the 32-AND Boyar-Peralta S-box; "
+              "ours uses a 36-AND tower-field S-box)\n",
+              static_cast<unsigned long long>(run.stats.garbled_non_xor));
+  return 0;
+}

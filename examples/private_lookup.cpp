@@ -1,0 +1,46 @@
+// Oblivious array lookup (the paper's §4.4 scenario): Alice holds a table,
+// Bob holds a secret index; Bob's index never leaves the protocol, yet the
+// lookup costs only a linear scan of the table — the LDR's address decoder
+// is garbled exactly where the index bits are secret, nothing else.
+#include <cstdio>
+#include <vector>
+
+#include "arm/arm2gc.h"
+#include "arm/assembler.h"
+
+int main() {
+  using namespace arm2gc;
+
+  // out[0] = alice[bob[0] & 15]
+  const auto program = arm::assemble(R"(
+    ldr r4, [r1]        ; Bob's secret index
+    and r4, r4, #15     ; clamp to table size (free: public mask)
+    mov r4, r4, lsl #2  ; word -> byte offset (free)
+    add r4, r0, r4      ; &alice[idx]: only low address bits become secret
+    ldr r5, [r4]        ; oblivious read: linear-scan muxes, garbled
+    str r5, [r2]
+    swi 0
+  )");
+
+  arm::MemoryConfig cfg;
+  cfg.imem_words = 16;
+  cfg.alice_words = 16;
+  cfg.bob_words = 1;
+  cfg.out_words = 1;
+  cfg.ram_words = 16;
+  const arm::Arm2Gc machine(cfg, program);
+
+  std::vector<std::uint32_t> table(16);
+  for (std::size_t i = 0; i < 16; ++i) table[i] = 1000 + 111 * static_cast<std::uint32_t>(i);
+  const std::vector<std::uint32_t> secret_index = {11};
+
+  const arm::Arm2GcResult r = machine.run(table, secret_index);
+  std::printf("oblivious lookup: table[<secret 11>] = %u (expected %u)\n", r.outputs[0],
+              table[11]);
+  std::printf("garbled non-XOR gates: %llu  — the cost of scanning one 16-word memory,\n"
+              "not of garbling the processor (%llu non-free gates/cycle x %llu cycles)\n",
+              static_cast<unsigned long long>(r.stats.garbled_non_xor),
+              static_cast<unsigned long long>(machine.cpu().nl.count_non_free()),
+              static_cast<unsigned long long>(r.cycles));
+  return 0;
+}

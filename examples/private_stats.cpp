@@ -1,0 +1,40 @@
+// Private similarity scoring: two parties compare 512-bit feature vectors
+// (e.g. iris codes or fingerprint sketches) without revealing them. The
+// Hamming-distance kernel is the paper's flagship benchmark: SkipGate prunes
+// the masked SWAR adds to ~a thousand garbled gates.
+#include <cstdio>
+#include <vector>
+
+#include "arm/arm2gc.h"
+#include "crypto/rng.h"
+#include "programs/programs.h"
+
+int main() {
+  using namespace arm2gc;
+  constexpr std::size_t kWords = 16;  // 512 bits
+
+  const programs::Program p = programs::hamming(kWords);
+  const arm::Arm2Gc machine(p.cfg, p.words);
+
+  crypto::CtrRng rng(crypto::block_from_u64(42));
+  std::vector<std::uint32_t> alice(kWords), bob(kWords);
+  for (std::size_t i = 0; i < kWords; ++i) {
+    alice[i] = static_cast<std::uint32_t>(rng.next_u64());
+    bob[i] = alice[i];
+  }
+  // Flip ~40 feature bits on Bob's side.
+  for (int k = 0; k < 40; ++k) {
+    bob[static_cast<std::size_t>(rng.next_below(kWords))] ^=
+        1u << rng.next_below(32);
+  }
+
+  const arm::Arm2GcResult r = machine.run(alice, bob);
+  std::printf("private feature-vector comparison (512 bits)\n");
+  std::printf("hamming distance      : %u bits\n", r.outputs[0]);
+  std::printf("match verdict         : %s (threshold 64)\n",
+              r.outputs[0] < 64 ? "same subject" : "different subjects");
+  std::printf("garbled non-XOR gates : %llu (conventional GC would need %llu)\n",
+              static_cast<unsigned long long>(r.stats.garbled_non_xor),
+              static_cast<unsigned long long>(machine.conventional_non_xor(r.cycles)));
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "arm/arm2gc.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace arm2gc::arm {
+
+Arm2Gc::Arm2Gc(MemoryConfig cfg, std::vector<std::uint32_t> program)
+    : cfg_(cfg), program_(std::move(program)), cpu_(build_cpu(cfg_, program_)) {}
+
+netlist::BitVec Arm2Gc::words_to_bits(std::span<const std::uint32_t> words,
+                                      std::size_t mem_words, const char* who) const {
+  if (words.size() > mem_words) {
+    throw std::invalid_argument(std::string("Arm2Gc: ") + who + " input exceeds memory");
+  }
+  netlist::BitVec bits(32 * mem_words, false);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    for (int b = 0; b < 32; ++b) bits[32 * w + static_cast<std::size_t>(b)] = ((words[w] >> b) & 1u) != 0;
+  }
+  return bits;
+}
+
+namespace {
+Arm2GcResult decode_run(const core::RunResult& r, std::size_t out_words) {
+  Arm2GcResult res;
+  res.cycles = r.final_cycle + 1;
+  res.stats = r.stats;
+  res.outputs.assign(out_words, 0);
+  // Output port 0 is the halt flag; out memory bits follow word-major.
+  for (std::size_t w = 0; w < out_words; ++w) {
+    for (int b = 0; b < 32; ++b) {
+      if (r.final_outputs.at(1 + 32 * w + static_cast<std::size_t>(b))) {
+        res.outputs[w] |= 1u << b;
+      }
+    }
+  }
+  return res;
+}
+}  // namespace
+
+Arm2GcResult Arm2Gc::run(std::span<const std::uint32_t> alice,
+                         std::span<const std::uint32_t> bob, std::uint64_t max_cycles,
+                         gc::Scheme scheme) const {
+  core::RunOptions opts;
+  opts.mode = core::Mode::SkipGate;
+  opts.scheme = scheme;
+  opts.halt_wire = cpu_.halt_wire;
+  opts.max_cycles = max_cycles;
+  core::SkipGateDriver driver(cpu_.nl, opts);
+  const core::RunResult r = driver.run(words_to_bits(alice, cfg_.alice_words, "Alice"),
+                                       words_to_bits(bob, cfg_.bob_words, "Bob"));
+  return decode_run(r, cfg_.out_words);
+}
+
+Arm2GcResult Arm2Gc::run_conventional(std::span<const std::uint32_t> alice,
+                                      std::span<const std::uint32_t> bob,
+                                      std::uint64_t cycles) const {
+  core::RunOptions opts;
+  opts.mode = core::Mode::Conventional;
+  opts.fixed_cycles = cycles;
+  core::SkipGateDriver driver(cpu_.nl, opts);
+  const core::RunResult r = driver.run(words_to_bits(alice, cfg_.alice_words, "Alice"),
+                                       words_to_bits(bob, cfg_.bob_words, "Bob"));
+  return decode_run(r, cfg_.out_words);
+}
+
+std::uint64_t Arm2Gc::conventional_non_xor(std::uint64_t cycles) const {
+  return cycles * cpu_.nl.count_non_free();
+}
+
+Arm2GcResult Arm2Gc::run_reference(std::span<const std::uint32_t> alice,
+                                   std::span<const std::uint32_t> bob,
+                                   std::uint64_t max_cycles) const {
+  ArmSim sim(cfg_, program_);
+  sim.reset(alice, bob);
+  Arm2GcResult res;
+  res.cycles = sim.run(max_cycles);
+  res.outputs = sim.out_mem();
+  return res;
+}
+
+}  // namespace arm2gc::arm

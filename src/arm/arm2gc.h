@@ -1,0 +1,71 @@
+// ARM2GC public API (paper §4): run an ARM binary as a garbled processor.
+//
+// This is the `gc_main` equivalent of the paper's framework: the program is
+// public, Alice's and Bob's private inputs live in dedicated memories, and
+// the result is read back from the output memory:
+//
+//   reset ABI:  r0 = &alice_mem, r1 = &bob_mem, r2 = &out_mem,
+//               sp = top of RAM, pc = 0; swi halts.
+//
+// Usage:
+//   Arm2Gc machine(cfg, arm::assemble(source));
+//   auto result = machine.run(alice_words, bob_words);
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arm/cpu_netlist.h"
+#include "arm/cpu_sim.h"
+#include "core/skipgate.h"
+
+namespace arm2gc::arm {
+
+struct Arm2GcResult {
+  std::vector<std::uint32_t> outputs;  ///< the output memory after the run
+  std::uint64_t cycles = 0;            ///< executed cycles including the halt cycle
+  core::RunStats stats;
+};
+
+class Arm2Gc {
+ public:
+  /// Builds the garbled processor for a fixed public program. Netlist
+  /// construction happens once; runs reuse it.
+  Arm2Gc(MemoryConfig cfg, std::vector<std::uint32_t> program);
+
+  /// Executes the two-party protocol (SkipGate mode, halt-driven).
+  [[nodiscard]] Arm2GcResult run(std::span<const std::uint32_t> alice,
+                                 std::span<const std::uint32_t> bob,
+                                 std::uint64_t max_cycles = 1u << 20,
+                                 gc::Scheme scheme = gc::Scheme::HalfGates) const;
+
+  /// Executes with conventional GC (every gate garbled) for exactly
+  /// `cycles` cycles — the "w/o SkipGate" baseline. Expensive; use small
+  /// programs or prefer conventional_non_xor().
+  [[nodiscard]] Arm2GcResult run_conventional(std::span<const std::uint32_t> alice,
+                                              std::span<const std::uint32_t> bob,
+                                              std::uint64_t cycles) const;
+
+  /// Exact non-XOR cost of a conventional garbling of `cycles` cycles
+  /// (gate count is cycle-invariant: cycles x non-free gates).
+  [[nodiscard]] std::uint64_t conventional_non_xor(std::uint64_t cycles) const;
+
+  /// Reference execution on the ISS (for expected outputs / cycle counts).
+  [[nodiscard]] Arm2GcResult run_reference(std::span<const std::uint32_t> alice,
+                                           std::span<const std::uint32_t> bob,
+                                           std::uint64_t max_cycles = 1u << 20) const;
+
+  [[nodiscard]] const CpuNetlist& cpu() const { return cpu_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& program() const { return program_; }
+
+ private:
+  [[nodiscard]] netlist::BitVec words_to_bits(std::span<const std::uint32_t> words,
+                                              std::size_t mem_words, const char* who) const;
+
+  MemoryConfig cfg_;
+  std::vector<std::uint32_t> program_;
+  CpuNetlist cpu_;
+};
+
+}  // namespace arm2gc::arm

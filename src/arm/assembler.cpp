@@ -1,0 +1,521 @@
+#include "arm/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace arm2gc::arm {
+
+std::optional<std::uint16_t> encode_imm12(std::uint32_t value) {
+  for (std::uint32_t rot = 0; rot < 16; ++rot) {
+    const unsigned r = 2 * rot;
+    const std::uint32_t candidate = r == 0 ? value : ((value << r) | (value >> (32 - r)));
+    if (candidate <= 0xffu) {
+      return static_cast<std::uint16_t>((rot << 8) | candidate);
+    }
+  }
+  return std::nullopt;
+}
+
+const char* cond_name(Cond c) {
+  static const char* kNames[16] = {"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+                                   "hi", "ls", "ge", "lt", "gt", "le", "", "nv"};
+  return kNames[static_cast<int>(c)];
+}
+
+namespace {
+
+struct Line {
+  std::size_t number = 0;
+  std::string text;
+};
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+/// Statement kinds after pass-1 classification.
+enum class StKind : std::uint8_t { Instr, Word, LoadLiteral };
+
+struct Statement {
+  StKind kind = StKind::Instr;
+  std::size_t line = 0;
+  std::uint32_t address = 0;
+  std::string text;          // instruction text (mnemonic + operands)
+  std::string expr;          // .word / =literal expression
+  int lit_reg = -1;          // destination register for LoadLiteral
+  Cond lit_cond = Cond::Al;  // condition for LoadLiteral
+  std::uint32_t lit_addr = 0;  // resolved literal slot address
+};
+
+struct Operand2 {
+  bool is_imm = false;
+  std::uint16_t imm12 = 0;
+  int rm = 0;
+  ShiftType shift = ShiftType::Lsl;
+  bool shift_by_reg = false;
+  int rs = 0;
+  std::uint32_t shift_imm = 0;
+};
+
+class Assembler {
+ public:
+  std::vector<std::uint32_t> run(const std::string& source) {
+    split_lines(source);
+    pass1();
+    return pass2();
+  }
+
+ private:
+  [[noreturn]] void fail(std::size_t line, const std::string& msg) const {
+    throw AssemblyError(line, msg);
+  }
+
+  void split_lines(const std::string& source) {
+    std::istringstream is(source);
+    std::string raw;
+    std::size_t n = 0;
+    while (std::getline(is, raw)) {
+      ++n;
+      for (const char* marker : {";", "@", "//"}) {
+        const std::size_t pos = raw.find(marker);
+        if (pos != std::string::npos) raw = raw.substr(0, pos);
+      }
+      raw = strip(raw);
+      if (!raw.empty()) lines_.push_back(Line{n, raw});
+    }
+  }
+
+  static bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+  }
+
+  void pass1() {
+    std::uint32_t addr = 0;
+    std::vector<std::size_t> pending_literals;  // indices into statements_
+
+    auto flush_pool = [&]() {
+      for (const std::size_t idx : pending_literals) {
+        statements_[idx].lit_addr = addr;
+        addr += 4;
+      }
+      pending_literals.clear();
+    };
+
+    for (const Line& line : lines_) {
+      std::string text = line.text;
+      // Labels (possibly several on one line).
+      while (true) {
+        const std::size_t colon = text.find(':');
+        if (colon == std::string::npos) break;
+        const std::string label = strip(text.substr(0, colon));
+        if (label.empty() || !std::all_of(label.begin(), label.end(), is_ident_char)) break;
+        if (labels_.count(label) != 0) fail(line.number, "duplicate label '" + label + "'");
+        labels_[label] = addr;
+        text = strip(text.substr(colon + 1));
+      }
+      if (text.empty()) continue;
+
+      const std::string lowered = lower(text);
+      if (lowered.rfind(".word", 0) == 0) {
+        statements_.push_back(
+            Statement{StKind::Word, line.number, addr, "", strip(text.substr(5)), -1, Cond::Al, 0});
+        addr += 4;
+      } else if (lowered.rfind(".ltorg", 0) == 0) {
+        flush_pool();
+      } else if (lowered.rfind("ldr", 0) == 0 && text.find('=') != std::string::npos) {
+        // ldr{cond} rd, =expr  -> pc-relative load from the literal pool.
+        Statement st;
+        st.kind = StKind::LoadLiteral;
+        st.line = line.number;
+        st.address = addr;
+        std::string rest = lowered.substr(3);
+        st.lit_cond = take_cond(rest);
+        if (!rest.empty() && rest[0] != ' ' && rest[0] != '\t') {
+          fail(line.number, "bad ldr mnemonic");
+        }
+        const std::size_t comma = text.find(',');
+        if (comma == std::string::npos) fail(line.number, "ldr =: missing comma");
+        const std::size_t mnemonic_end = text.find_first_of(" \t");
+        st.lit_reg = parse_reg(strip(text.substr(mnemonic_end, comma - mnemonic_end)), line.number);
+        const std::string after = strip(text.substr(comma + 1));
+        if (after.empty() || after[0] != '=') fail(line.number, "ldr =: missing '='");
+        st.expr = strip(after.substr(1));
+        statements_.push_back(st);
+        pending_literals.push_back(statements_.size() - 1);
+        addr += 4;
+      } else {
+        statements_.push_back(
+            Statement{StKind::Instr, line.number, addr, text, "", -1, Cond::Al, 0});
+        addr += 4;
+      }
+    }
+    flush_pool();
+    total_words_ = addr / 4;
+  }
+
+  std::vector<std::uint32_t> pass2() {
+    std::vector<std::uint32_t> words(total_words_, 0);
+    for (const Statement& st : statements_) {
+      switch (st.kind) {
+        case StKind::Word:
+          words[st.address / 4] = eval_expr(st.expr, st.line);
+          break;
+        case StKind::LoadLiteral: {
+          words[st.lit_addr / 4] = eval_expr(st.expr, st.line);
+          const std::int64_t off =
+              static_cast<std::int64_t>(st.lit_addr) - (static_cast<std::int64_t>(st.address) + 8);
+          const bool up = off >= 0;
+          const std::uint32_t mag = static_cast<std::uint32_t>(up ? off : -off);
+          if (mag > 0xfff) fail(st.line, "literal pool out of range");
+          words[st.address / 4] = (static_cast<std::uint32_t>(st.lit_cond) << 28) |
+                                  (0b01u << 26) | (1u << 24) | (up ? 1u << 23 : 0) | (1u << 20) |
+                                  (15u << 16) | (static_cast<std::uint32_t>(st.lit_reg) << 12) |
+                                  mag;
+          break;
+        }
+        case StKind::Instr:
+          words[st.address / 4] = encode_instr(st);
+          break;
+      }
+    }
+    return words;
+  }
+
+  // --- operand parsing -------------------------------------------------------
+
+  int parse_reg(const std::string& token, std::size_t line) const {
+    const std::string t = lower(strip(token));
+    if (t == "sp") return 13;
+    if (t == "lr") return 14;
+    if (t == "pc") return 15;
+    if (t == "fp") return 11;
+    if (t == "ip") return 12;
+    if (t.size() >= 2 && t[0] == 'r') {
+      const std::string num = t.substr(1);
+      if (std::all_of(num.begin(), num.end(), ::isdigit)) {
+        const int r = std::stoi(num);
+        if (r >= 0 && r <= 15) return r;
+      }
+    }
+    fail(line, "bad register '" + token + "'");
+  }
+
+  std::uint32_t eval_expr(const std::string& expr, std::size_t line) const {
+    const std::string e = strip(expr);
+    if (e.empty()) fail(line, "empty expression");
+    if (auto it = labels_.find(e); it != labels_.end()) return it->second;
+    return parse_number(e, line);
+  }
+
+  std::uint32_t parse_number(const std::string& token, std::size_t line) const {
+    const std::string t = strip(token);
+    try {
+      const bool neg = !t.empty() && t[0] == '-';
+      const std::string mag = neg ? t.substr(1) : t;
+      const unsigned long long v = std::stoull(mag, nullptr, 0);
+      const auto u = static_cast<std::uint32_t>(v);
+      return neg ? static_cast<std::uint32_t>(-static_cast<std::int64_t>(u)) : u;
+    } catch (const std::exception&) {
+      fail(line, "bad number '" + token + "'");
+    }
+  }
+
+  static Cond take_cond(std::string& rest) {
+    static const std::pair<const char*, Cond> kConds[] = {
+        {"eq", Cond::Eq}, {"ne", Cond::Ne}, {"cs", Cond::Cs}, {"hs", Cond::Cs},
+        {"cc", Cond::Cc}, {"lo", Cond::Cc}, {"mi", Cond::Mi}, {"pl", Cond::Pl},
+        {"vs", Cond::Vs}, {"vc", Cond::Vc}, {"hi", Cond::Hi}, {"ls", Cond::Ls},
+        {"ge", Cond::Ge}, {"lt", Cond::Lt}, {"gt", Cond::Gt}, {"le", Cond::Le},
+        {"al", Cond::Al}};
+    for (const auto& [name, cond] : kConds) {
+      if (rest.rfind(name, 0) == 0) {
+        rest = rest.substr(2);
+        return cond;
+      }
+    }
+    return Cond::Al;
+  }
+
+  std::vector<std::string> split_operands(const std::string& s, std::size_t line) const {
+    // Split on commas not inside brackets.
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string cur;
+    for (const char c : s) {
+      if (c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == ',' && depth == 0) {
+        out.push_back(strip(cur));
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!strip(cur).empty()) out.push_back(strip(cur));
+    if (depth != 0) fail(line, "unbalanced brackets");
+    return out;
+  }
+
+  Operand2 parse_op2(const std::vector<std::string>& ops, std::size_t start,
+                     std::size_t line) const {
+    Operand2 o;
+    const std::string& first = ops[start];
+    if (first[0] == '#') {
+      const std::uint32_t v = parse_number(first.substr(1), line);
+      const auto enc = encode_imm12(v);
+      if (!enc) fail(line, "immediate not encodable: " + first + " (use ldr rd, =imm)");
+      o.is_imm = true;
+      o.imm12 = *enc;
+      if (ops.size() > start + 1) fail(line, "unexpected operand after immediate");
+      return o;
+    }
+    o.rm = parse_reg(first, line);
+    if (ops.size() == start + 1) return o;
+    // "rm, lsl #n" or "rm, lsl rs"
+    const std::string shift_spec = lower(ops[start + 1]);
+    static const std::pair<const char*, ShiftType> kShifts[] = {
+        {"lsl", ShiftType::Lsl}, {"lsr", ShiftType::Lsr}, {"asr", ShiftType::Asr},
+        {"ror", ShiftType::Ror}};
+    bool found = false;
+    for (const auto& [name, type] : kShifts) {
+      if (shift_spec.rfind(name, 0) == 0) {
+        o.shift = type;
+        found = true;
+        break;
+      }
+    }
+    if (!found) fail(line, "bad shift '" + ops[start + 1] + "'");
+    const std::string amount = strip(shift_spec.substr(3));
+    if (amount.empty()) fail(line, "missing shift amount");
+    if (amount[0] == '#') {
+      o.shift_imm = parse_number(amount.substr(1), line);
+      if (o.shift_imm > 31) fail(line, "shift amount out of range");
+    } else {
+      o.shift_by_reg = true;
+      o.rs = parse_reg(amount, line);
+    }
+    if (ops.size() > start + 2) fail(line, "unexpected operand after shift");
+    return o;
+  }
+
+  static std::uint32_t op2_bits(const Operand2& o) {
+    if (o.is_imm) return (1u << 25) | o.imm12;
+    if (o.shift_by_reg) {
+      return (static_cast<std::uint32_t>(o.rs) << 8) |
+             (static_cast<std::uint32_t>(o.shift) << 5) | (1u << 4) |
+             static_cast<std::uint32_t>(o.rm);
+    }
+    return (o.shift_imm << 7) | (static_cast<std::uint32_t>(o.shift) << 5) |
+           static_cast<std::uint32_t>(o.rm);
+  }
+
+  // --- instruction encoding ----------------------------------------------------
+
+  std::uint32_t encode_instr(const Statement& st) {
+    const std::size_t sp = st.text.find_first_of(" \t");
+    std::string mnemonic = lower(sp == std::string::npos ? st.text : st.text.substr(0, sp));
+    const std::string operand_text = sp == std::string::npos ? "" : strip(st.text.substr(sp));
+    const std::vector<std::string> ops = split_operands(operand_text, st.line);
+
+    static const std::pair<const char*, DpOp> kDpOps[] = {
+        {"and", DpOp::And}, {"eor", DpOp::Eor}, {"sub", DpOp::Sub}, {"rsb", DpOp::Rsb},
+        {"add", DpOp::Add}, {"adc", DpOp::Adc}, {"sbc", DpOp::Sbc}, {"rsc", DpOp::Rsc},
+        {"tst", DpOp::Tst}, {"teq", DpOp::Teq}, {"cmp", DpOp::Cmp}, {"cmn", DpOp::Cmn},
+        {"orr", DpOp::Orr}, {"mov", DpOp::Mov}, {"bic", DpOp::Bic}, {"mvn", DpOp::Mvn}};
+
+    // Multi-character bases first so "bl"/"bls" parse unambiguously.
+    if (mnemonic.rfind("mla", 0) == 0) return encode_mul(mnemonic.substr(3), ops, st.line, true);
+    if (mnemonic.rfind("mul", 0) == 0) return encode_mul(mnemonic.substr(3), ops, st.line, false);
+    if (mnemonic.rfind("ldr", 0) == 0) return encode_mem(mnemonic.substr(3), ops, st.line, true);
+    if (mnemonic.rfind("str", 0) == 0) return encode_mem(mnemonic.substr(3), ops, st.line, false);
+    if (mnemonic.rfind("swi", 0) == 0) {
+      std::string rest = mnemonic.substr(3);
+      const Cond cond = take_cond(rest);
+      if (!rest.empty()) fail(st.line, "bad swi mnemonic");
+      const std::uint32_t imm = ops.empty() ? 0 : parse_number(ops[0][0] == '#' ? ops[0].substr(1) : ops[0], st.line);
+      return (static_cast<std::uint32_t>(cond) << 28) | (0b1111u << 24) | (imm & 0xffffffu);
+    }
+    for (const auto& [name, op] : kDpOps) {
+      if (mnemonic.rfind(name, 0) == 0) {
+        return encode_dp(op, mnemonic.substr(3), ops, st.line);
+      }
+    }
+    if (mnemonic.rfind("bl", 0) == 0 || mnemonic[0] == 'b') {
+      const bool link = mnemonic.rfind("bl", 0) == 0 &&
+                        (mnemonic.size() == 2 || mnemonic.size() == 4);
+      std::string rest = mnemonic.substr(link ? 2 : 1);
+      const Cond cond = take_cond(rest);
+      if (!rest.empty()) fail(st.line, "bad branch mnemonic '" + mnemonic + "'");
+      if (ops.size() != 1) fail(st.line, "branch needs a target");
+      const std::uint32_t target = eval_expr(ops[0], st.line);
+      const std::int64_t off =
+          (static_cast<std::int64_t>(target) - (static_cast<std::int64_t>(st.address) + 8)) >> 2;
+      return (static_cast<std::uint32_t>(cond) << 28) | (0b101u << 25) |
+             (link ? 1u << 24 : 0) | (static_cast<std::uint32_t>(off) & 0xffffffu);
+    }
+    fail(st.line, "unknown mnemonic '" + mnemonic + "'");
+  }
+
+  std::uint32_t encode_dp(DpOp op, std::string suffix, const std::vector<std::string>& ops,
+                          std::size_t line) {
+    const Cond cond = take_cond(suffix);
+    bool s = false;
+    if (suffix == "s") {
+      s = true;
+      suffix.clear();
+    }
+    if (!suffix.empty()) fail(line, "bad mnemonic suffix '" + suffix + "'");
+    if (dp_no_writeback(op)) s = true;  // tst/teq/cmp/cmn always set flags
+
+    int rd = 0;
+    int rn = 0;
+    std::size_t op2_start = 0;
+    if (op == DpOp::Mov || op == DpOp::Mvn) {
+      if (ops.size() < 2) fail(line, "mov/mvn needs 2 operands");
+      rd = parse_reg(ops[0], line);
+      op2_start = 1;
+    } else if (dp_no_writeback(op)) {
+      if (ops.size() < 2) fail(line, "compare needs 2 operands");
+      rn = parse_reg(ops[0], line);
+      op2_start = 1;
+    } else {
+      if (ops.size() < 3) fail(line, "needs 3 operands");
+      rd = parse_reg(ops[0], line);
+      rn = parse_reg(ops[1], line);
+      op2_start = 2;
+    }
+    if (rd == 15 || rn == 15) fail(line, "r15 not allowed as rd/rn (use b/bl)");
+    const Operand2 o2 = parse_op2(ops, op2_start, line);
+    return (static_cast<std::uint32_t>(cond) << 28) | (static_cast<std::uint32_t>(op) << 21) |
+           (s ? 1u << 20 : 0) | (static_cast<std::uint32_t>(rn) << 16) |
+           (static_cast<std::uint32_t>(rd) << 12) | op2_bits(o2);
+  }
+
+  std::uint32_t encode_mul(std::string suffix, const std::vector<std::string>& ops,
+                           std::size_t line, bool mla) {
+    const Cond cond = take_cond(suffix);
+    bool s = false;
+    if (suffix == "s") {
+      s = true;
+      suffix.clear();
+    }
+    if (!suffix.empty()) fail(line, "bad mul suffix");
+    if (ops.size() != (mla ? 4u : 3u)) fail(line, mla ? "mla rd, rm, rs, rn" : "mul rd, rm, rs");
+    const int rd = parse_reg(ops[0], line);
+    const int rm = parse_reg(ops[1], line);
+    const int rs = parse_reg(ops[2], line);
+    const int rn = mla ? parse_reg(ops[3], line) : 0;
+    if (rd == 15 || rm == 15 || rs == 15 || rn == 15) fail(line, "r15 not allowed in mul");
+    return (static_cast<std::uint32_t>(cond) << 28) | (mla ? 1u << 21 : 0) |
+           (s ? 1u << 20 : 0) | (static_cast<std::uint32_t>(rd) << 16) |
+           (static_cast<std::uint32_t>(rn) << 12) | (static_cast<std::uint32_t>(rs) << 8) |
+           (0b1001u << 4) | static_cast<std::uint32_t>(rm);
+  }
+
+  std::uint32_t encode_mem(std::string suffix, const std::vector<std::string>& ops,
+                           std::size_t line, bool load) {
+    const Cond cond = take_cond(suffix);
+    if (!suffix.empty()) fail(line, "bad ldr/str suffix (byte/half access unsupported)");
+    if (ops.size() != 2) fail(line, "ldr/str rd, [rn{, #off}]");
+    const int rd = parse_reg(ops[0], line);
+    std::string mem = strip(ops[1]);
+    if (mem.size() < 2 || mem.front() != '[' || mem.back() != ']') {
+      fail(line, "bad address operand '" + ops[1] + "'");
+    }
+    mem = mem.substr(1, mem.size() - 2);
+    const std::vector<std::string> parts = split_operands(mem, line);
+    const int rn = parse_reg(parts[0], line);
+    bool up = true;
+    std::uint32_t off = 0;
+    if (parts.size() == 2) {
+      if (parts[1].empty() || parts[1][0] != '#') fail(line, "register offsets unsupported");
+      std::int64_t v = static_cast<std::int32_t>(parse_number(parts[1].substr(1), line));
+      if (v < 0) {
+        up = false;
+        v = -v;
+      }
+      if (v > 0xfff) fail(line, "offset out of range");
+      off = static_cast<std::uint32_t>(v);
+    } else if (parts.size() > 2) {
+      fail(line, "bad address operand");
+    }
+    return (static_cast<std::uint32_t>(cond) << 28) | (0b01u << 26) | (1u << 24) |
+           (up ? 1u << 23 : 0) | (load ? 1u << 20 : 0) | (static_cast<std::uint32_t>(rn) << 16) |
+           (static_cast<std::uint32_t>(rd) << 12) | off;
+  }
+
+  std::vector<Line> lines_;
+  std::vector<Statement> statements_;
+  std::map<std::string, std::uint32_t> labels_;
+  std::uint32_t total_words_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> assemble(const std::string& source) {
+  return Assembler{}.run(source);
+}
+
+std::string disassemble(std::uint32_t instr) {
+  static const char* kDpNames[16] = {"and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+                                     "tst", "teq", "cmp", "cmn", "orr", "mov", "bic", "mvn"};
+  std::ostringstream os;
+  const auto cond = static_cast<Cond>(bits(instr, 31, 28));
+  const DecodedClass cls = classify(instr);
+  if (cls.is_swi) {
+    os << "swi" << cond_name(cond) << " " << bits(instr, 23, 0);
+  } else if (cls.is_branch) {
+    const auto off = static_cast<std::int32_t>(bits(instr, 23, 0) << 8) >> 8;
+    os << (bits(instr, 24, 24) ? "bl" : "b") << cond_name(cond) << " pc+8+" << (off * 4);
+  } else if (cls.is_mul) {
+    os << (bits(instr, 21, 21) ? "mla" : "mul") << cond_name(cond) << " r" << bits(instr, 19, 16)
+       << ", r" << bits(instr, 3, 0) << ", r" << bits(instr, 11, 8);
+    if (bits(instr, 21, 21)) os << ", r" << bits(instr, 15, 12);
+  } else if (cls.is_mem) {
+    os << (bits(instr, 20, 20) ? "ldr" : "str") << cond_name(cond) << " r" << bits(instr, 15, 12)
+       << ", [r" << bits(instr, 19, 16) << ", #" << (bits(instr, 23, 23) ? "" : "-")
+       << bits(instr, 11, 0) << "]";
+  } else if (cls.is_dp) {
+    const auto op = static_cast<DpOp>(bits(instr, 24, 21));
+    os << kDpNames[static_cast<int>(op)] << cond_name(cond)
+       << (bits(instr, 20, 20) && !dp_no_writeback(op) ? "s" : "");
+    if (op == DpOp::Mov || op == DpOp::Mvn) {
+      os << " r" << bits(instr, 15, 12);
+    } else if (dp_no_writeback(op)) {
+      os << " r" << bits(instr, 19, 16);
+    } else {
+      os << " r" << bits(instr, 15, 12) << ", r" << bits(instr, 19, 16);
+    }
+    if (bits(instr, 25, 25)) {
+      const std::uint32_t rot = 2 * bits(instr, 11, 8);
+      const std::uint32_t imm = bits(instr, 7, 0);
+      os << ", #" << ((imm >> rot) | (rot ? imm << (32 - rot) : 0));
+    } else {
+      os << ", r" << bits(instr, 3, 0);
+      static const char* kShiftNames[4] = {"lsl", "lsr", "asr", "ror"};
+      if (bits(instr, 4, 4)) {
+        os << ", " << kShiftNames[bits(instr, 6, 5)] << " r" << bits(instr, 11, 8);
+      } else if (bits(instr, 11, 7) != 0) {
+        os << ", " << kShiftNames[bits(instr, 6, 5)] << " #" << bits(instr, 11, 7);
+      }
+    }
+  } else {
+    os << ".word 0x" << std::hex << instr;
+  }
+  return os.str();
+}
+
+}  // namespace arm2gc::arm

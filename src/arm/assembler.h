@@ -1,0 +1,31 @@
+// Two-pass ARM assembler for the supported subset: labels, conditional
+// suffixes, the S bit, operand-2 shifts, `ldr rd, =imm` with an automatic
+// literal pool, and `.word` / `.ltorg` directives. This (together with the
+// hand-assembled programs in src/programs/) substitutes for the off-the-shelf
+// gcc-arm cross compiler of the paper: the protocol only ever sees the
+// binary words this produces.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arm/isa.h"
+
+namespace arm2gc::arm {
+
+struct AssemblyError : std::runtime_error {
+  AssemblyError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_no(line) {}
+  std::size_t line_no;
+};
+
+/// Assembles `source` into instruction words (origin 0). Throws
+/// AssemblyError with a line number on malformed input.
+std::vector<std::uint32_t> assemble(const std::string& source);
+
+/// One-line disassembly (debugging aid; covers the supported subset).
+std::string disassemble(std::uint32_t instr);
+
+}  // namespace arm2gc::arm

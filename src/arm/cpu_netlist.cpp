@@ -1,0 +1,344 @@
+#include "arm/cpu_netlist.h"
+
+#include <stdexcept>
+
+#include "builder/circuit_builder.h"
+#include "builder/stdlib.h"
+#include "netlist/opt.h"
+
+namespace arm2gc::arm {
+
+namespace {
+
+using builder::Bus;
+using builder::CircuitBuilder;
+using builder::Wire;
+using netlist::Dff;
+using netlist::Owner;
+
+std::size_t log2_exact(std::size_t v, const char* what) {
+  std::size_t n = 0;
+  while ((1ull << n) < v) ++n;
+  if ((1ull << n) != v) throw std::invalid_argument(std::string(what) + " must be a power of two");
+  return n;
+}
+
+/// A register / memory word as a DFF bus handle plus its current-output bus.
+struct WordReg {
+  std::vector<CircuitBuilder::DffHandle> dffs;
+  Bus out;
+};
+
+WordReg make_word(CircuitBuilder& cb, Dff::Init init, std::uint32_t init_index_base) {
+  WordReg w;
+  w.dffs = cb.make_dff_bus(32, init, init_index_base);
+  return w;
+}
+
+WordReg make_const_word(CircuitBuilder& cb, std::uint32_t value) {
+  WordReg w;
+  w.dffs.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    w.dffs.push_back(cb.make_dff(((value >> i) & 1u) ? Dff::Init::One : Dff::Init::Zero));
+  }
+  return w;
+}
+
+/// instr[hi:lo] as a bus slice.
+Bus field(const Bus& instr, int hi, int lo) {
+  return Bus(instr.begin() + lo, instr.begin() + hi + 1);
+}
+
+}  // namespace
+
+CpuNetlist build_cpu(const MemoryConfig& cfg, std::span<const std::uint32_t> program) {
+  if (program.size() > cfg.imem_words) {
+    throw std::invalid_argument("build_cpu: program does not fit instruction memory");
+  }
+  const std::size_t imem_idx_bits = log2_exact(cfg.imem_words, "imem_words");
+  const std::size_t alice_idx_bits = log2_exact(cfg.alice_words, "alice_words");
+  const std::size_t bob_idx_bits = log2_exact(cfg.bob_words, "bob_words");
+  const std::size_t out_idx_bits = log2_exact(cfg.out_words, "out_words");
+  const std::size_t ram_idx_bits = log2_exact(cfg.ram_words, "ram_words");
+
+  CpuNetlist cpu;
+  cpu.cfg = cfg;
+  CircuitBuilder cb;
+
+  // --- state elements (all DFFs before any gate) -----------------------------
+  cpu.reg_dff0 = 0;
+  std::vector<WordReg> regs;  // r0..r14
+  for (int r = 0; r < 15; ++r) {
+    std::uint32_t init = 0;
+    if (r == 0) init = kAliceBase;
+    if (r == 1) init = kBobBase;
+    if (r == 2) init = kOutBase;
+    if (r == 13) init = kRamBase + static_cast<std::uint32_t>(cfg.ram_words) * 4;
+    regs.push_back(make_const_word(cb, init));
+  }
+  cpu.flags_dff0 = 15 * 32;
+  // Deferred flag evaluation: instead of materializing N and Z as bits on
+  // every flag-setting instruction (Z is a 31-AND zero-test that SkipGate
+  // would have to garble each time), the processor latches the last
+  // flag-setting *result* (`zsrc`, initialized to 1 so Z=0, N=0 at reset) and
+  // derives N/Z only where a condition consumes them. When no conditional
+  // instruction reads Z, the zero-test never enters the needed-cone and
+  // costs nothing — this is what makes e.g. a multi-word ADDS/ADCS chain
+  // cost exactly its adders, as in the paper's Sum 1024 row.
+  WordReg zsrc = make_const_word(cb, 1);
+  const auto fC = cb.make_dff();
+  const auto fV = cb.make_dff();
+  cpu.pc_dff0 = cpu.flags_dff0 + 34;
+  WordReg pc = make_const_word(cb, 0);
+
+  cpu.imem_dff0 = cpu.pc_dff0 + 32;
+  std::vector<WordReg> imem;
+  for (std::size_t w = 0; w < cfg.imem_words; ++w) {
+    imem.push_back(make_const_word(cb, w < program.size() ? program[w] : 0));
+  }
+  cpu.alice_dff0 = static_cast<std::uint32_t>(cpu.imem_dff0 + 32 * cfg.imem_words);
+  std::vector<WordReg> amem;
+  for (std::size_t w = 0; w < cfg.alice_words; ++w) {
+    amem.push_back(make_word(cb, Dff::Init::AliceBit, static_cast<std::uint32_t>(32 * w)));
+  }
+  cpu.bob_dff0 = static_cast<std::uint32_t>(cpu.alice_dff0 + 32 * cfg.alice_words);
+  std::vector<WordReg> bmem;
+  for (std::size_t w = 0; w < cfg.bob_words; ++w) {
+    bmem.push_back(make_word(cb, Dff::Init::BobBit, static_cast<std::uint32_t>(32 * w)));
+  }
+  cpu.out_dff0 = static_cast<std::uint32_t>(cpu.bob_dff0 + 32 * cfg.bob_words);
+  std::vector<WordReg> omem;
+  for (std::size_t w = 0; w < cfg.out_words; ++w) omem.push_back(make_const_word(cb, 0));
+  cpu.ram_dff0 = static_cast<std::uint32_t>(cpu.out_dff0 + 32 * cfg.out_words);
+  std::vector<WordReg> rmem;
+  for (std::size_t w = 0; w < cfg.ram_words; ++w) rmem.push_back(make_const_word(cb, 0));
+
+  // Resolve output buses now that every DFF exists.
+  for (auto& r : regs) r.out = cb.dff_out_bus(r.dffs);
+  pc.out = cb.dff_out_bus(pc.dffs);
+  zsrc.out = cb.dff_out_bus(zsrc.dffs);
+  for (auto* mem : {&imem, &amem, &bmem, &omem, &rmem}) {
+    for (auto& w : *mem) w.out = cb.dff_out_bus(w.dffs);
+  }
+  const Wire vN = zsrc.out[31];
+  const Wire vZ = builder::is_zero(cb, zsrc.out);
+  const Wire vC = cb.dff_out(fC), vV = cb.dff_out(fV);
+
+  // --- fetch -------------------------------------------------------------------
+  auto mem_read = [&](const std::vector<WordReg>& mem, const Bus& idx) {
+    std::vector<Bus> options;
+    options.reserve(mem.size());
+    for (const WordReg& w : mem) options.push_back(w.out);
+    return builder::select(cb, idx, options);
+  };
+  const Bus pc_word_idx(pc.out.begin() + 2, pc.out.begin() + 2 + static_cast<std::ptrdiff_t>(imem_idx_bits));
+  const Bus instr = mem_read(imem, pc_word_idx);
+
+  // --- decode --------------------------------------------------------------------
+  auto eq_const = [&](const Bus& b, std::uint32_t v) {
+    Wire acc = cb.c1();
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const Wire bit = ((v >> i) & 1u) ? b[i] : CircuitBuilder::not_(b[i]);
+      acc = cb.and_(acc, bit);
+    }
+    return acc;
+  };
+  const Bus cond_field = field(instr, 31, 28);
+  const Wire mul_pat = cb.and_(eq_const(field(instr, 27, 22), 0), eq_const(field(instr, 7, 4), 0b1001));
+  const Wire is_dp = cb.and_(eq_const(field(instr, 27, 26), 0b00), CircuitBuilder::not_(mul_pat));
+  const Wire is_mul = mul_pat;
+  const Wire is_mem = eq_const(field(instr, 27, 26), 0b01);
+  const Wire is_branch = eq_const(field(instr, 27, 25), 0b101);
+  const Wire is_swi = eq_const(field(instr, 27, 24), 0b1111);
+  const Wire s_bit = instr[20];
+  const Bus opcode = field(instr, 24, 21);
+
+  // --- register read ports ---------------------------------------------------------
+  const Bus pc_plus8 = builder::add(cb, pc.out, builder::bus_constant(cb, 8, 32));
+  auto reg_read = [&](const Bus& idx4) {
+    std::vector<Bus> options;
+    options.reserve(16);
+    for (int r = 0; r < 15; ++r) options.push_back(regs[static_cast<std::size_t>(r)].out);
+    options.push_back(pc_plus8);  // r15 reads pc+8
+    return builder::select(cb, idx4, options);
+  };
+  const Bus rn_val = reg_read(field(instr, 19, 16));
+  const Bus rm_val = reg_read(field(instr, 3, 0));
+  const Bus rs_val = reg_read(field(instr, 11, 8));
+  const Bus rd_val = reg_read(field(instr, 15, 12));  // STR data / MLA accumulator
+
+  // --- operand 2 ---------------------------------------------------------------------
+  // Immediate: imm8 rotated right by 2*rot.
+  const Bus imm8 = builder::zext(cb, field(instr, 7, 0), 32);
+  Bus rot_amt(5, cb.c0());
+  for (int i = 0; i < 4; ++i) rot_amt[static_cast<std::size_t>(i + 1)] = instr[static_cast<std::size_t>(8 + i)];
+  const Bus imm_val = builder::barrel_right(cb, imm8, rot_amt, cb.c0(), /*rotate=*/true);
+
+  // Register with shift: amount from imm5 or Rs[7:0].
+  const Wire shift_by_reg = instr[4];
+  const Bus imm5 = builder::zext(cb, field(instr, 11, 7), 8);
+  const Bus rs8 = builder::zext(cb, Bus(rs_val.begin(), rs_val.begin() + 8), 8);
+  const Bus amt8 = builder::mux_bus(cb, shift_by_reg, rs8, imm5);
+  const Bus amt5(amt8.begin(), amt8.begin() + 5);
+  const Wire amt_ge32 = builder::reduce_or(cb, std::span<const Wire>(amt8.data() + 5, 3));
+  const Wire sign = rm_val[31];
+  const Bus zeros = builder::bus_constant(cb, 0, 32);
+  const Bus signs(32, sign);
+  const Bus lsl = builder::mux_bus(cb, amt_ge32, zeros, builder::barrel_left(cb, rm_val, amt5, cb.c0()));
+  const Bus lsr = builder::mux_bus(cb, amt_ge32, zeros, builder::barrel_right(cb, rm_val, amt5, cb.c0(), false));
+  const Bus asr = builder::mux_bus(cb, amt_ge32, signs, builder::barrel_right(cb, rm_val, amt5, sign, false));
+  const Bus ror = builder::barrel_right(cb, rm_val, amt5, cb.c0(), /*rotate=*/true);
+  const Bus shifted = builder::select(cb, field(instr, 6, 5), std::vector<Bus>{lsl, lsr, asr, ror});
+  const Wire op2_is_imm = instr[25];
+  const Bus op2 = builder::mux_bus(cb, op2_is_imm, imm_val, shifted);
+
+  // --- ALU ------------------------------------------------------------------------------
+  // One shared adder: x + (invert_y ? ~y : y) + cin, selected per opcode.
+  // reverse: RSB/RSC swap operands; cin in {0, 1, C}.
+  const Wire op_rev = cb.or_(eq_const(opcode, 3), eq_const(opcode, 7));            // rsb, rsc
+  const Wire op_inv = cb.or_(cb.or_(eq_const(opcode, 2), eq_const(opcode, 3)),
+                             cb.or_(cb.or_(eq_const(opcode, 6), eq_const(opcode, 7)),
+                                    eq_const(opcode, 10)));  // sub, rsb, sbc, rsc, cmp
+  const Wire op_use_c = cb.or_(cb.or_(eq_const(opcode, 5), eq_const(opcode, 6)), eq_const(opcode, 7));
+  const Bus x = builder::mux_bus(cb, op_rev, op2, rn_val);
+  Bus y = builder::mux_bus(cb, op_rev, rn_val, op2);
+  y = builder::mux_bus(cb, op_inv, builder::not_bus(y), y);
+  const Wire cin = cb.mux(op_use_c, vC, op_inv);  // inverted ops start with +1
+  const builder::AddOut sum = builder::add_full(cb, x, y, cin);
+
+  const Bus and_res = builder::and_bus(cb, rn_val, op2);
+  const Bus eor_res = builder::xor_bus(cb, rn_val, op2);
+  const Bus orr_res = builder::or_bus(cb, rn_val, op2);
+  const Bus bic_res = builder::andn_bus(cb, rn_val, op2);
+  const Bus mvn_res = builder::not_bus(op2);
+  const Bus alu_out = builder::select(
+      cb, opcode,
+      std::vector<Bus>{and_res, eor_res, sum.sum, sum.sum, sum.sum, sum.sum, sum.sum, sum.sum,
+                       and_res, eor_res, sum.sum, sum.sum, orr_res, op2, bic_res, mvn_res});
+
+  // --- multiplier -----------------------------------------------------------------------
+  const Bus mul_prod = builder::mul_lower(cb, rm_val, rs_val, 32);
+  const Wire mul_acc = instr[21];
+  const Bus mla_sum = builder::add(cb, mul_prod, rd_val);
+  const Bus mul_res = builder::mux_bus(cb, mul_acc, mla_sum, mul_prod);
+
+  // --- memory access -----------------------------------------------------------------------
+  const Bus off12 = builder::zext(cb, field(instr, 11, 0), 32);
+  const Wire mem_up = instr[23];
+  const Bus off_neg = builder::sub(cb, builder::bus_constant(cb, 0, 32), off12);
+  const Bus mem_off = builder::mux_bus(cb, mem_up, off12, off_neg);
+  const Bus addr = builder::add(cb, rn_val, mem_off);
+  const Bus region = field(addr, 18, 16);
+  auto idx_of = [&](std::size_t bits_n) {
+    return Bus(addr.begin() + 2, addr.begin() + 2 + static_cast<std::ptrdiff_t>(bits_n));
+  };
+  const Bus rd_imem = mem_read(imem, idx_of(imem_idx_bits));
+  const Bus rd_alice = mem_read(amem, idx_of(alice_idx_bits));
+  const Bus rd_bob = mem_read(bmem, idx_of(bob_idx_bits));
+  const Bus rd_out = mem_read(omem, idx_of(out_idx_bits));
+  const Bus rd_ram = mem_read(rmem, idx_of(ram_idx_bits));
+  const Bus mem_rdata = builder::select(
+      cb, region, std::vector<Bus>{rd_imem, rd_alice, rd_bob, rd_out, rd_ram, rd_ram, rd_ram, rd_ram});
+
+  // --- flags & conditional execution ----------------------------------------------------------
+  const Bus flag_opts_src{vZ, CircuitBuilder::not_(vZ), vC, CircuitBuilder::not_(vC),
+                          vN, CircuitBuilder::not_(vN), vV, CircuitBuilder::not_(vV)};
+  const Wire hi_w = cb.andn_(vC, vZ);                     // C & ~Z
+  const Wire ge_w = cb.xnor_(vN, vV);
+  const Wire gt_w = cb.andn_(ge_w, vZ);                   // (N==V) & ~Z
+  std::vector<Bus> cond_opts;
+  for (const Wire w : {flag_opts_src[0], flag_opts_src[1], flag_opts_src[2], flag_opts_src[3],
+                       flag_opts_src[4], flag_opts_src[5], flag_opts_src[6], flag_opts_src[7],
+                       hi_w, CircuitBuilder::not_(hi_w), ge_w, CircuitBuilder::not_(ge_w), gt_w,
+                       CircuitBuilder::not_(gt_w), cb.c1(), cb.c0()}) {
+    cond_opts.push_back(Bus{w});
+  }
+  const Wire cond_ok = builder::select(cb, cond_field, cond_opts)[0];
+
+  // --- write-back ---------------------------------------------------------------------------------
+  const Wire halt_now = cb.and_(is_swi, cond_ok);
+
+  const Wire dp_writes = cb.and_(is_dp, CircuitBuilder::not_(cb.and_(opcode[3], CircuitBuilder::not_(opcode[2]))));
+  // opcode 8..11 (1 0 x x) are tst/teq/cmp/cmn: no destination write.
+  const Wire is_ldr = cb.and_(is_mem, instr[20]);
+  const Wire is_str = cb.and_(is_mem, CircuitBuilder::not_(instr[20]));
+  const Wire is_bl = cb.and_(is_branch, instr[24]);
+
+  const Bus wdata = builder::mux_bus(cb, is_ldr, mem_rdata,
+                                     builder::mux_bus(cb, is_mul, mul_res, alu_out));
+  const Bus pc_plus4 = builder::add(cb, pc.out, builder::bus_constant(cb, 4, 32));
+
+  const std::vector<Wire> rd_onehot = builder::decode_onehot(cb, field(instr, 15, 12));
+  const std::vector<Wire> rdm_onehot = builder::decode_onehot(cb, field(instr, 19, 16));
+  for (int r = 0; r < 15; ++r) {
+    const Wire sel_dp_ldr = cb.and_(cb.or_(dp_writes, is_ldr), rd_onehot[static_cast<std::size_t>(r)]);
+    const Wire sel_mul = cb.and_(is_mul, rdm_onehot[static_cast<std::size_t>(r)]);
+    Wire en = cb.or_(sel_dp_ldr, sel_mul);
+    Bus data = wdata;
+    if (r == 14) {
+      en = cb.or_(en, is_bl);
+      data = builder::mux_bus(cb, is_bl, pc_plus4, wdata);
+    }
+    en = cb.and_(en, cond_ok);
+    cb.set_dff_d_bus(regs[static_cast<std::size_t>(r)].dffs,
+                     builder::mux_bus(cb, en, data, regs[static_cast<std::size_t>(r)].out));
+  }
+
+  // Flags.
+  const Wire set_flags = cb.and_(cb.and_(cb.or_(is_dp, is_mul), s_bit), cond_ok);
+  const Wire arith_op = cb.and_(is_dp, cb.and_(CircuitBuilder::not_(cb.xnor_(opcode[1], opcode[2])),
+                                               CircuitBuilder::not_(opcode[3])));
+  // Arithmetic opcodes 2..7 = binary 0xx with (bit1 != bit2 ... ) -- computed
+  // as: !bit3 && (bit2 ^ bit1 ... ) is wrong in general; use explicit list:
+  const Wire arith_explicit =
+      cb.or_(cb.or_(cb.or_(eq_const(opcode, 2), eq_const(opcode, 3)),
+                    cb.or_(eq_const(opcode, 4), eq_const(opcode, 5))),
+             cb.or_(cb.or_(eq_const(opcode, 6), eq_const(opcode, 7)),
+                    cb.or_(eq_const(opcode, 10), eq_const(opcode, 11))));
+  (void)arith_op;
+  const Bus res_for_flags = builder::mux_bus(cb, is_mul, mul_res, alu_out);
+  const Wire set_cv = cb.and_(set_flags, cb.and_(is_dp, arith_explicit));
+  cb.set_dff_d_bus(zsrc.dffs, builder::mux_bus(cb, set_flags, res_for_flags, zsrc.out));
+  cb.set_dff_d(fC, cb.mux(set_cv, sum.carry_out, vC));
+  cb.set_dff_d(fV, cb.mux(set_cv, sum.overflow, vV));
+
+  // PC.
+  const Bus boff = builder::sext(cb, field(instr, 23, 0), 30);
+  Bus target_off(32, cb.c0());
+  for (std::size_t i = 0; i < 30; ++i) target_off[i + 2] = boff[i];
+  const Bus branch_target = builder::add(cb, pc_plus8, target_off);
+  const Wire take_branch = cb.and_(is_branch, cond_ok);
+  Bus pc_next = builder::mux_bus(cb, take_branch, branch_target, pc_plus4);
+  pc_next = builder::mux_bus(cb, halt_now, pc.out, pc_next);
+  cb.set_dff_d_bus(pc.dffs, pc_next);
+
+  // Memory writes (STR): region-decoded, word-decoded, predicated.
+  const Wire do_store = cb.and_(is_str, cond_ok);
+  auto write_mem = [&](std::vector<WordReg>& mem, std::uint32_t region_id, std::size_t bits_n) {
+    const Wire we_region = cb.and_(do_store, eq_const(region, region_id));
+    const std::vector<Wire> onehot = builder::decode_onehot(cb, idx_of(bits_n));
+    for (std::size_t w = 0; w < mem.size(); ++w) {
+      const Wire en = cb.and_(we_region, onehot[w]);
+      cb.set_dff_d_bus(mem[w].dffs, builder::mux_bus(cb, en, rd_val, mem[w].out));
+    }
+  };
+  write_mem(amem, 1, alice_idx_bits);
+  write_mem(bmem, 2, bob_idx_bits);
+  write_mem(omem, 3, out_idx_bits);
+  write_mem(rmem, 4, ram_idx_bits);
+  // Instruction memory holds its value.
+  for (auto& w : imem) cb.set_dff_d_bus(w.dffs, w.out);
+
+  // --- outputs -----------------------------------------------------------------------------------
+  cb.output(halt_now, "halt");
+  for (std::size_t w = 0; w < omem.size(); ++w) {
+    cb.output_bus(omem[w].out, "out" + std::to_string(w));
+  }
+
+  cpu.nl = cb.take();
+  netlist::sweep_dead_gates(cpu.nl);
+  cpu.halt_wire = cpu.nl.outputs[0].wire;
+  return cpu;
+}
+
+}  // namespace arm2gc::arm

@@ -1,0 +1,46 @@
+// Gate-level generator for the garbled ARM processor (paper §4): a
+// single-cycle datapath with conditional execution, five linear-scan
+// memories, and a public halt signal. The netlist is what the SkipGate
+// protocol garbles; its architectural behaviour is validated in lock-step
+// against ArmSim.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arm/isa.h"
+#include "netlist/netlist.h"
+
+namespace arm2gc::arm {
+
+struct CpuNetlist {
+  netlist::Netlist nl;
+  MemoryConfig cfg;
+  /// Combinational "the current instruction is SWI and executes": public as
+  /// long as the program counter stays public; the SkipGate driver stops on
+  /// it. Also exported as output port 0 ("halt").
+  netlist::WireId halt_wire = 0;
+
+  // Flip-flop index bases (for lock-step inspection through
+  // netlist::Simulator::dff_state; layout below mirrors build order).
+  std::uint32_t reg_dff0 = 0;    ///< r0..r14, 32 bits each
+  /// Flag state uses deferred evaluation: 32-bit `zsrc` (the last
+  /// flag-setting result; N = bit 31, Z = zsrc == 0) followed by C and V
+  /// bits. See the comment in build_cpu for why this matters to SkipGate.
+  std::uint32_t flags_dff0 = 0;
+  std::uint32_t pc_dff0 = 0;     ///< 32 bits
+  std::uint32_t imem_dff0 = 0;
+  std::uint32_t alice_dff0 = 0;
+  std::uint32_t bob_dff0 = 0;
+  std::uint32_t out_dff0 = 0;
+  std::uint32_t ram_dff0 = 0;
+
+  /// Output ports: [0] = halt, [1..] = the output memory, word-major
+  /// (out_words x 32 bits).
+};
+
+/// Builds the processor netlist with the given memories and public program.
+/// Alice's memory words bind to Alice input bits (32*w + b), Bob's likewise.
+CpuNetlist build_cpu(const MemoryConfig& cfg, std::span<const std::uint32_t> program);
+
+}  // namespace arm2gc::arm

@@ -1,0 +1,194 @@
+#include "arm/cpu_sim.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace arm2gc::arm {
+
+namespace {
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+ArmSim::ArmSim(MemoryConfig cfg, std::span<const std::uint32_t> program) : cfg_(cfg) {
+  for (const std::size_t w : {cfg.imem_words, cfg.alice_words, cfg.bob_words, cfg.out_words,
+                              cfg.ram_words}) {
+    if (!is_pow2(w)) throw std::invalid_argument("ArmSim: memory sizes must be powers of two");
+  }
+  if (program.size() > cfg.imem_words) {
+    throw std::invalid_argument("ArmSim: program does not fit instruction memory");
+  }
+  imem_.assign(cfg.imem_words, 0);
+  std::copy(program.begin(), program.end(), imem_.begin());
+  alice_.assign(cfg.alice_words, 0);
+  bob_.assign(cfg.bob_words, 0);
+  out_.assign(cfg.out_words, 0);
+  ram_.assign(cfg.ram_words, 0);
+}
+
+void ArmSim::reset(std::span<const std::uint32_t> alice, std::span<const std::uint32_t> bob) {
+  if (alice.size() > cfg_.alice_words || bob.size() > cfg_.bob_words) {
+    throw std::invalid_argument("ArmSim: inputs exceed memory size");
+  }
+  std::fill(alice_.begin(), alice_.end(), 0);
+  std::fill(bob_.begin(), bob_.end(), 0);
+  std::fill(out_.begin(), out_.end(), 0);
+  std::fill(ram_.begin(), ram_.end(), 0);
+  std::copy(alice.begin(), alice.end(), alice_.begin());
+  std::copy(bob.begin(), bob.end(), bob_.begin());
+  for (auto& r : regs_) r = 0;
+  regs_[0] = kAliceBase;
+  regs_[1] = kBobBase;
+  regs_[2] = kOutBase;
+  regs_[13] = kRamBase + static_cast<std::uint32_t>(cfg_.ram_words) * 4;
+  pc_ = 0;
+  n_ = z_ = c_ = v_ = false;
+  halted_ = false;
+}
+
+std::uint32_t ArmSim::read_word(std::uint32_t addr) const {
+  const std::uint32_t region = (addr >> 16) & 7u;
+  const std::uint32_t w = addr >> 2;
+  switch (region) {
+    case 0: return imem_[w & (cfg_.imem_words - 1)];
+    case 1: return alice_[w & (cfg_.alice_words - 1)];
+    case 2: return bob_[w & (cfg_.bob_words - 1)];
+    case 3: return out_[w & (cfg_.out_words - 1)];
+    case 4: return ram_[w & (cfg_.ram_words - 1)];
+    default: throw std::runtime_error("ArmSim: read from unmapped address " + std::to_string(addr));
+  }
+}
+
+void ArmSim::write_word(std::uint32_t addr, std::uint32_t value) {
+  const std::uint32_t region = (addr >> 16) & 7u;
+  const std::uint32_t w = addr >> 2;
+  switch (region) {
+    case 1: alice_[w & (cfg_.alice_words - 1)] = value; break;
+    case 2: bob_[w & (cfg_.bob_words - 1)] = value; break;
+    case 3: out_[w & (cfg_.out_words - 1)] = value; break;
+    case 4: ram_[w & (cfg_.ram_words - 1)] = value; break;
+    default: throw std::runtime_error("ArmSim: write to unmapped address " + std::to_string(addr));
+  }
+}
+
+std::uint32_t ArmSim::read_reg(int i) const {
+  return i == 15 ? pc_ + 8 : regs_[static_cast<std::size_t>(i)];
+}
+
+void ArmSim::step() {
+  if (halted_) return;
+  const std::uint32_t instr = imem_[(pc_ >> 2) & (cfg_.imem_words - 1)];
+  const auto cond = static_cast<Cond>(bits(instr, 31, 28));
+  const bool exec = cond_holds(cond, n_, z_, c_, v_);
+  const DecodedClass cls = classify(instr);
+  std::uint32_t next_pc = pc_ + 4;
+
+  if (exec && cls.is_swi) {
+    halted_ = true;
+    return;  // pc frozen; outputs reflect state before the swi
+  }
+
+  if (cls.is_dp) {
+    const auto op = static_cast<DpOp>(bits(instr, 24, 21));
+    const bool s = bits(instr, 20, 20) != 0;
+    const std::uint32_t rn_val = read_reg(static_cast<int>(bits(instr, 19, 16)));
+    // Operand 2.
+    std::uint32_t op2;
+    if (bits(instr, 25, 25) != 0) {
+      const std::uint32_t rot = 2 * bits(instr, 11, 8);
+      const std::uint32_t imm = bits(instr, 7, 0);
+      op2 = rot == 0 ? imm : ((imm >> rot) | (imm << (32 - rot)));
+    } else {
+      const std::uint32_t rm_val = read_reg(static_cast<int>(bits(instr, 3, 0)));
+      const auto type = static_cast<ShiftType>(bits(instr, 6, 5));
+      const std::uint32_t amt = bits(instr, 4, 4) != 0
+                                    ? (read_reg(static_cast<int>(bits(instr, 11, 8))) & 0xffu)
+                                    : bits(instr, 11, 7);
+      op2 = apply_shift(type, rm_val, amt);
+    }
+
+    std::uint32_t result = 0;
+    bool carry = c_;
+    bool overflow = v_;
+    auto adder = [&](std::uint32_t x, std::uint32_t y, bool cin) {
+      const std::uint64_t wide = static_cast<std::uint64_t>(x) + y + (cin ? 1 : 0);
+      const auto res = static_cast<std::uint32_t>(wide);
+      carry = (wide >> 32) != 0;
+      overflow = (~(x ^ y) & (x ^ res) & 0x80000000u) != 0;
+      return res;
+    };
+    switch (op) {
+      case DpOp::And: case DpOp::Tst: result = rn_val & op2; break;
+      case DpOp::Eor: case DpOp::Teq: result = rn_val ^ op2; break;
+      case DpOp::Sub: case DpOp::Cmp: result = adder(rn_val, ~op2, true); break;
+      case DpOp::Rsb: result = adder(op2, ~rn_val, true); break;
+      case DpOp::Add: case DpOp::Cmn: result = adder(rn_val, op2, false); break;
+      case DpOp::Adc: result = adder(rn_val, op2, c_); break;
+      case DpOp::Sbc: result = adder(rn_val, ~op2, c_); break;
+      case DpOp::Rsc: result = adder(op2, ~rn_val, c_); break;
+      case DpOp::Orr: result = rn_val | op2; break;
+      case DpOp::Mov: result = op2; break;
+      case DpOp::Bic: result = rn_val & ~op2; break;
+      case DpOp::Mvn: result = ~op2; break;
+    }
+    if (exec) {
+      if (!dp_no_writeback(op)) regs_[bits(instr, 15, 12)] = result;
+      if (s) {
+        n_ = (result & 0x80000000u) != 0;
+        z_ = result == 0;
+        if (dp_is_arith(op)) {
+          c_ = carry;
+          v_ = overflow;
+        }
+      }
+    }
+  } else if (cls.is_mul) {
+    const bool accumulate = bits(instr, 21, 21) != 0;
+    const bool s = bits(instr, 20, 20) != 0;
+    std::uint32_t result = read_reg(static_cast<int>(bits(instr, 3, 0))) *
+                           read_reg(static_cast<int>(bits(instr, 11, 8)));
+    if (accumulate) result += read_reg(static_cast<int>(bits(instr, 15, 12)));
+    if (exec) {
+      regs_[bits(instr, 19, 16)] = result;
+      if (s) {
+        n_ = (result & 0x80000000u) != 0;
+        z_ = result == 0;
+      }
+    }
+  } else if (cls.is_mem) {
+    const bool load = bits(instr, 20, 20) != 0;
+    const bool up = bits(instr, 23, 23) != 0;
+    const std::uint32_t rn_val = read_reg(static_cast<int>(bits(instr, 19, 16)));
+    const std::uint32_t off = bits(instr, 11, 0);
+    const std::uint32_t addr = up ? rn_val + off : rn_val - off;
+    if (exec) {
+      if (load) {
+        regs_[bits(instr, 15, 12)] = read_word(addr);
+      } else {
+        write_word(addr, read_reg(static_cast<int>(bits(instr, 15, 12))));
+      }
+    }
+  } else if (cls.is_branch) {
+    if (exec) {
+      const bool link = bits(instr, 24, 24) != 0;
+      const auto off = static_cast<std::int32_t>(bits(instr, 23, 0) << 8) >> 8;
+      if (link) regs_[14] = pc_ + 4;
+      next_pc = static_cast<std::uint32_t>(static_cast<std::int64_t>(pc_) + 8 + 4 * off);
+    }
+  } else if (!cls.is_swi) {
+    throw std::runtime_error("ArmSim: unsupported instruction encoding at pc " +
+                             std::to_string(pc_));
+  }
+  pc_ = next_pc;
+}
+
+std::uint64_t ArmSim::run(std::uint64_t max_cycles) {
+  std::uint64_t cycles = 0;
+  while (!halted_) {
+    if (cycles >= max_cycles) throw std::runtime_error("ArmSim: max cycles exceeded");
+    step();
+    ++cycles;
+  }
+  return cycles;
+}
+
+}  // namespace arm2gc::arm

@@ -1,0 +1,61 @@
+// Reference instruction-set simulator for the supported ARM subset. This is
+// the architectural golden model: the gate-level CPU netlist is validated
+// against it cycle by cycle, and benchmark programs are debugged on it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arm/isa.h"
+
+namespace arm2gc::arm {
+
+class ArmSim {
+ public:
+  ArmSim(MemoryConfig cfg, std::span<const std::uint32_t> program);
+
+  /// Loads the parties' input memories and applies the reset ABI:
+  /// r0=&alice, r1=&bob, r2=&out, sp=top of RAM, pc=0.
+  void reset(std::span<const std::uint32_t> alice, std::span<const std::uint32_t> bob);
+
+  /// Executes one instruction; no-op once halted.
+  void step();
+
+  /// Runs until SWI; returns the executed cycle count **including** the SWI
+  /// cycle (matching the garbled run's final cycle + 1). Throws if
+  /// `max_cycles` is exceeded.
+  std::uint64_t run(std::uint64_t max_cycles = 1u << 20);
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  [[nodiscard]] std::uint32_t reg(int i) const { return regs_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] bool flag_n() const { return n_; }
+  [[nodiscard]] bool flag_z() const { return z_; }
+  [[nodiscard]] bool flag_c() const { return c_; }
+  [[nodiscard]] bool flag_v() const { return v_; }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& out_mem() const { return out_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& ram() const { return ram_; }
+  [[nodiscard]] const MemoryConfig& config() const { return cfg_; }
+
+  /// Word read with the same region decode the netlist uses.
+  [[nodiscard]] std::uint32_t read_word(std::uint32_t addr) const;
+
+ private:
+  void write_word(std::uint32_t addr, std::uint32_t value);
+  [[nodiscard]] std::uint32_t read_reg(int i) const;  // r15 reads pc+8
+
+  MemoryConfig cfg_;
+  std::vector<std::uint32_t> imem_;
+  std::vector<std::uint32_t> alice_;
+  std::vector<std::uint32_t> bob_;
+  std::vector<std::uint32_t> out_;
+  std::vector<std::uint32_t> ram_;
+  std::uint32_t regs_[16] = {};
+  std::uint32_t pc_ = 0;
+  bool n_ = false, z_ = false, c_ = false, v_ = false;
+  bool halted_ = false;
+};
+
+}  // namespace arm2gc::arm

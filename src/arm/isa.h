@@ -1,0 +1,143 @@
+// ARM (v2a-class) instruction subset shared by the assembler, the reference
+// instruction-set simulator and the gate-level CPU generator.
+//
+// Supported classes (the subset the garbled processor implements, mirroring
+// the paper's trimmed Amber core):
+//   * data processing (all 16 opcodes) with conditional execution, S bit and
+//     full operand-2 shifts (immediate and register amounts),
+//   * MUL / MLA,
+//   * LDR / STR, word, pre-indexed immediate offset (no writeback),
+//   * B / BL,
+//   * SWI (used as the halt instruction).
+//
+// Documented deviations from full ARM (kept identical between the ISS and
+// the netlist): logical operations leave C and V unchanged (no shifter
+// carry-out); shifts by immediate use the literal 5-bit amount (no RRX /
+// "#0 means 32" special cases); byte and halfword memory access is absent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace arm2gc::arm {
+
+enum class Cond : std::uint8_t {
+  Eq = 0, Ne, Cs, Cc, Mi, Pl, Vs, Vc, Hi, Ls, Ge, Lt, Gt, Le, Al, Nv
+};
+
+enum class DpOp : std::uint8_t {
+  And = 0, Eor, Sub, Rsb, Add, Adc, Sbc, Rsc, Tst, Teq, Cmp, Cmn, Orr, Mov, Bic, Mvn
+};
+
+enum class ShiftType : std::uint8_t { Lsl = 0, Lsr, Asr, Ror };
+
+/// True for the four compare/test opcodes (no destination register).
+constexpr bool dp_no_writeback(DpOp op) {
+  return op == DpOp::Tst || op == DpOp::Teq || op == DpOp::Cmp || op == DpOp::Cmn;
+}
+
+/// True for opcodes whose C/V flags come from the adder.
+constexpr bool dp_is_arith(DpOp op) {
+  switch (op) {
+    case DpOp::Sub: case DpOp::Rsb: case DpOp::Add: case DpOp::Adc:
+    case DpOp::Sbc: case DpOp::Rsc: case DpOp::Cmp: case DpOp::Cmn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// --- field helpers (encode/decode) -------------------------------------------
+
+constexpr std::uint32_t bits(std::uint32_t v, int hi, int lo) {
+  return (v >> lo) & ((1u << (hi - lo + 1)) - 1u);
+}
+
+struct DecodedClass {
+  bool is_dp = false;
+  bool is_mul = false;
+  bool is_mem = false;
+  bool is_branch = false;
+  bool is_swi = false;
+};
+
+constexpr DecodedClass classify(std::uint32_t instr) {
+  DecodedClass d;
+  const std::uint32_t c2726 = bits(instr, 27, 26);
+  const bool mul_pattern = bits(instr, 27, 22) == 0 && bits(instr, 7, 4) == 0b1001;
+  d.is_mul = mul_pattern;
+  d.is_dp = c2726 == 0b00 && !mul_pattern;
+  d.is_mem = c2726 == 0b01;
+  d.is_branch = bits(instr, 27, 25) == 0b101;
+  d.is_swi = bits(instr, 27, 24) == 0b1111;
+  return d;
+}
+
+/// Finds the (rot, imm8) encoding of a 32-bit constant if one exists.
+std::optional<std::uint16_t> encode_imm12(std::uint32_t value);
+
+/// Condition name table ("eq", "ne", ...; index = Cond).
+const char* cond_name(Cond c);
+
+/// Evaluates a condition against NZCV flags.
+constexpr bool cond_holds(Cond c, bool n, bool z, bool cf, bool v) {
+  switch (c) {
+    case Cond::Eq: return z;
+    case Cond::Ne: return !z;
+    case Cond::Cs: return cf;
+    case Cond::Cc: return !cf;
+    case Cond::Mi: return n;
+    case Cond::Pl: return !n;
+    case Cond::Vs: return v;
+    case Cond::Vc: return !v;
+    case Cond::Hi: return cf && !z;
+    case Cond::Ls: return !cf || z;
+    case Cond::Ge: return n == v;
+    case Cond::Lt: return n != v;
+    case Cond::Gt: return !z && n == v;
+    case Cond::Le: return z || n != v;
+    case Cond::Al: return true;
+    case Cond::Nv: return false;
+  }
+  return false;
+}
+
+/// Shift semantics shared by ISS and netlist (see deviations note above).
+constexpr std::uint32_t apply_shift(ShiftType t, std::uint32_t v, std::uint32_t amt) {
+  amt &= 0xffu;  // register-shift uses the low byte
+  if (amt == 0) return v;
+  switch (t) {
+    case ShiftType::Lsl: return amt < 32 ? v << amt : 0;
+    case ShiftType::Lsr: return amt < 32 ? v >> amt : 0;
+    case ShiftType::Asr: {
+      const auto sv = static_cast<std::int32_t>(v);
+      return amt < 32 ? static_cast<std::uint32_t>(sv >> amt)
+                      : (v & 0x80000000u ? 0xffffffffu : 0u);
+    }
+    case ShiftType::Ror: {
+      const std::uint32_t r = amt & 31u;
+      return r == 0 ? v : (v >> r) | (v << (32 - r));
+    }
+  }
+  return v;
+}
+
+/// Memory map of the garbled processor (byte addresses, paper §4.1's five
+/// memories).
+inline constexpr std::uint32_t kImemBase = 0x00000;
+inline constexpr std::uint32_t kAliceBase = 0x10000;
+inline constexpr std::uint32_t kBobBase = 0x20000;
+inline constexpr std::uint32_t kOutBase = 0x30000;
+inline constexpr std::uint32_t kRamBase = 0x40000;
+
+/// Sizes (in 32-bit words, powers of two) of the five memories.
+struct MemoryConfig {
+  std::size_t imem_words = 256;
+  std::size_t alice_words = 64;
+  std::size_t bob_words = 64;
+  std::size_t out_words = 64;
+  std::size_t ram_words = 256;
+};
+
+}  // namespace arm2gc::arm

@@ -1,0 +1,166 @@
+#include "builder/circuit_builder.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace arm2gc::builder {
+
+using netlist::TruthTable;
+using netlist::WireId;
+
+using netlist::tt_neg_a;
+using netlist::tt_neg_b;
+using netlist::tt_swap;
+
+Wire CircuitBuilder::input(netlist::Owner owner, std::uint32_t bit_index, bool streamed,
+                           std::string name) {
+  nl_.inputs.push_back(netlist::Input{owner, streamed, bit_index, std::move(name)});
+  return Wire{nl_.input_wire(nl_.inputs.size() - 1), false};
+}
+
+Bus CircuitBuilder::input_bus(netlist::Owner owner, std::size_t width, std::uint32_t start_bit,
+                              bool streamed, const std::string& name) {
+  Bus bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.push_back(input(owner, start_bit + static_cast<std::uint32_t>(i), streamed,
+                        name.empty() ? std::string{} : name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+CircuitBuilder::DffHandle CircuitBuilder::make_dff(netlist::Dff::Init init,
+                                                   std::uint32_t init_index) {
+  if (!nl_.gates.empty()) {
+    // Keeping all DFB wires below all gate wires preserves the wire-id layout;
+    // circuits must create state elements before combinational logic.
+    throw std::logic_error("CircuitBuilder: create all DFFs before any gate");
+  }
+  netlist::Dff d;
+  d.init = init;
+  d.init_index = init_index;
+  nl_.dffs.push_back(d);
+  return DffHandle{static_cast<std::uint32_t>(nl_.dffs.size() - 1)};
+}
+
+void CircuitBuilder::set_dff_d(DffHandle h, Wire d) {
+  nl_.dffs.at(h.index).d = d.id;
+  nl_.dffs.at(h.index).d_invert = d.inv;
+}
+
+std::vector<CircuitBuilder::DffHandle> CircuitBuilder::make_dff_bus(std::size_t width,
+                                                                    netlist::Dff::Init init,
+                                                                    std::uint32_t init_start) {
+  std::vector<DffHandle> hs;
+  hs.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    hs.push_back(make_dff(init, init_start + static_cast<std::uint32_t>(i)));
+  }
+  return hs;
+}
+
+Bus CircuitBuilder::dff_out_bus(const std::vector<DffHandle>& hs) const {
+  Bus bus;
+  bus.reserve(hs.size());
+  for (DffHandle h : hs) bus.push_back(dff_out(h));
+  return bus;
+}
+
+void CircuitBuilder::set_dff_d_bus(const std::vector<DffHandle>& hs, const Bus& d) {
+  if (hs.size() != d.size()) throw std::invalid_argument("set_dff_d_bus: width mismatch");
+  for (std::size_t i = 0; i < hs.size(); ++i) set_dff_d(hs[i], d[i]);
+}
+
+Wire CircuitBuilder::gate(TruthTable tt, Wire a, Wire b) {
+  // 1. Fold handle inversions into the table.
+  if (a.inv) tt = tt_neg_a(tt);
+  if (b.inv) tt = tt_neg_b(tt);
+
+  // 2. Fold constants.
+  if (a.id == netlist::kConst0 || a.id == netlist::kConst1) {
+    const netlist::UnaryTable u = netlist::tt_restrict_a(tt, a.id == netlist::kConst1);
+    switch (u) {
+      case netlist::kUnZero: return c0();
+      case netlist::kUnOne: return c1();
+      case netlist::kUnId: return Wire{b.id, false};
+      default: return Wire{b.id, true};
+    }
+  }
+  if (b.id == netlist::kConst0 || b.id == netlist::kConst1) {
+    const netlist::UnaryTable u = netlist::tt_restrict_b(tt, b.id == netlist::kConst1);
+    switch (u) {
+      case netlist::kUnZero: return c0();
+      case netlist::kUnOne: return c1();
+      case netlist::kUnId: return Wire{a.id, false};
+      default: return Wire{a.id, true};
+    }
+  }
+
+  // 3. Same-wire inputs: restrict to the diagonal.
+  if (a.id == b.id) {
+    const netlist::UnaryTable u = netlist::tt_restrict_diag(tt, false);
+    switch (u) {
+      case netlist::kUnZero: return c0();
+      case netlist::kUnOne: return c1();
+      case netlist::kUnId: return Wire{a.id, false};
+      default: return Wire{a.id, true};
+    }
+  }
+
+  // 4. Degenerate tables that ignore an input.
+  if (tt_neg_a(tt) == tt) {  // depends only on b
+    const netlist::UnaryTable u = netlist::tt_restrict_a(tt, false);
+    return u == netlist::kUnId ? Wire{b.id, false} : Wire{b.id, true};
+  }
+  if (tt_neg_b(tt) == tt) {  // depends only on a
+    const netlist::UnaryTable u = netlist::tt_restrict_b(tt, false);
+    return u == netlist::kUnId ? Wire{a.id, false} : Wire{a.id, true};
+  }
+  if (tt == netlist::kTtZero) return c0();
+  if (tt == netlist::kTtOne) return c1();
+
+  // 5. Canonicalize: inputs ordered by wire id; output polarity f(0,0)=0.
+  if (a.id > b.id) {
+    std::swap(a, b);
+    tt = tt_swap(tt);
+  }
+  bool out_inv = false;
+  if ((tt & 1) != 0) {  // f(0,0) == 1: build the complement, flip the handle
+    tt = static_cast<TruthTable>(~tt & 0xF);
+    out_inv = true;
+  }
+
+  // 6. Structural hashing.
+  const std::uint64_t key = (static_cast<std::uint64_t>(a.id) << 36) |
+                            (static_cast<std::uint64_t>(b.id) << 8) |
+                            static_cast<std::uint64_t>(tt);
+  if (auto it = cse_.find(key); it != cse_.end()) return Wire{it->second, out_inv};
+
+  nl_.gates.push_back(netlist::Gate{a.id, b.id, tt});
+  const WireId w = nl_.gate_wire(nl_.gates.size() - 1);
+  cse_.emplace(key, w);
+  return Wire{w, out_inv};
+}
+
+Wire CircuitBuilder::mux(Wire sel, Wire t, Wire f) {
+  if (t == f) return t;
+  const Wire diff = xor_(t, f);
+  return xor_(f, and_(sel, diff));
+}
+
+void CircuitBuilder::output(Wire w, std::string name) {
+  nl_.outputs.push_back(netlist::OutputPort{w.id, w.inv, std::move(name)});
+}
+
+void CircuitBuilder::output_bus(const Bus& bus, const std::string& name) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    output(bus[i], name.empty() ? std::string{} : name + "[" + std::to_string(i) + "]");
+  }
+}
+
+netlist::Netlist CircuitBuilder::take() {
+  nl_.validate();
+  return std::move(nl_);
+}
+
+}  // namespace arm2gc::builder

@@ -1,0 +1,96 @@
+// CircuitBuilder: the construction DSL that stands in for the paper's
+// synthesis flow (Synopsys DC + TinyGarble technology libraries). It builds
+// `netlist::Netlist`s with the optimizations a GC-aware synthesis run gives:
+//   * constant folding (gates with constant inputs never materialize),
+//   * inversion folding (NOT is a wire-handle flag, folded into consumer
+//     truth tables — free-XOR makes inverters free),
+//   * structural hashing / CSE (identical gates are shared),
+//   * canonical gate forms (f(0,0)=0, commutative inputs ordered).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace arm2gc::builder {
+
+/// Wire handle: a netlist wire plus a pending inversion. Copyable value type.
+struct Wire {
+  netlist::WireId id = netlist::kConst0;
+  bool inv = false;
+
+  friend bool operator==(Wire a, Wire b) { return a.id == b.id && a.inv == b.inv; }
+};
+
+/// A little-endian bit vector of wires (bit 0 = least significant).
+using Bus = std::vector<Wire>;
+
+class CircuitBuilder {
+ public:
+  CircuitBuilder() = default;
+
+  // --- sources -------------------------------------------------------------
+  [[nodiscard]] Wire c0() const { return Wire{netlist::kConst0, false}; }
+  [[nodiscard]] Wire c1() const { return Wire{netlist::kConst1, false}; }
+  [[nodiscard]] Wire constant(bool v) const { return v ? c1() : c0(); }
+
+  Wire input(netlist::Owner owner, std::uint32_t bit_index, bool streamed = false,
+             std::string name = {});
+  /// `width` consecutive bits starting at `start_bit` of the owner's vector.
+  Bus input_bus(netlist::Owner owner, std::size_t width, std::uint32_t start_bit,
+                bool streamed = false, const std::string& name = {});
+
+  // --- flip-flops (two-phase: create, wire D later) -------------------------
+  struct DffHandle {
+    std::uint32_t index = 0;
+  };
+  DffHandle make_dff(netlist::Dff::Init init = netlist::Dff::Init::Zero,
+                     std::uint32_t init_index = 0);
+  [[nodiscard]] Wire dff_out(DffHandle h) const { return Wire{nl_.dff_wire(h.index), false}; }
+  void set_dff_d(DffHandle h, Wire d);
+
+  std::vector<DffHandle> make_dff_bus(std::size_t width,
+                                      netlist::Dff::Init init = netlist::Dff::Init::Zero,
+                                      std::uint32_t init_start = 0);
+  [[nodiscard]] Bus dff_out_bus(const std::vector<DffHandle>& hs) const;
+  void set_dff_d_bus(const std::vector<DffHandle>& hs, const Bus& d);
+
+  // --- gates -----------------------------------------------------------------
+  /// General 2-input gate; performs all folds and may return a constant or an
+  /// existing wire instead of creating a gate.
+  Wire gate(netlist::TruthTable tt, Wire a, Wire b);
+
+  Wire and_(Wire a, Wire b) { return gate(netlist::kTtAnd, a, b); }
+  Wire or_(Wire a, Wire b) { return gate(netlist::kTtOr, a, b); }
+  Wire xor_(Wire a, Wire b) { return gate(netlist::kTtXor, a, b); }
+  Wire nand_(Wire a, Wire b) { return gate(netlist::kTtNand, a, b); }
+  Wire nor_(Wire a, Wire b) { return gate(netlist::kTtNor, a, b); }
+  Wire xnor_(Wire a, Wire b) { return gate(netlist::kTtXnor, a, b); }
+  Wire andn_(Wire a, Wire b) { return gate(netlist::kTtAndANotB, a, b); }  // a & ~b
+  static Wire not_(Wire a) { return Wire{a.id, !a.inv}; }
+
+  /// 2:1 multiplexer, `sel ? t : f`. One AND: f ^ (sel & (t^f)).
+  Wire mux(Wire sel, Wire t, Wire f);
+
+  // --- outputs ---------------------------------------------------------------
+  void output(Wire w, std::string name = {});
+  void output_bus(const Bus& bus, const std::string& name = {});
+
+  void set_outputs_every_cycle(bool v) { nl_.outputs_every_cycle = v; }
+
+  // --- finalization ----------------------------------------------------------
+  /// Validates and moves the netlist out; the builder must not be used after.
+  netlist::Netlist take();
+
+  [[nodiscard]] std::size_t num_gates() const { return nl_.gates.size(); }
+  [[nodiscard]] std::size_t num_non_free() const { return nl_.count_non_free(); }
+
+ private:
+  netlist::Netlist nl_;
+  std::unordered_map<std::uint64_t, netlist::WireId> cse_;
+};
+
+}  // namespace arm2gc::builder

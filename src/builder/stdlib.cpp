@@ -1,0 +1,309 @@
+#include "builder/stdlib.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arm2gc::builder {
+
+Bus bus_constant(CircuitBuilder& cb, std::uint64_t value, std::size_t width) {
+  Bus bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) bus.push_back(cb.constant(((value >> i) & 1u) != 0));
+  return bus;
+}
+
+Bus zext(CircuitBuilder& cb, const Bus& a, std::size_t width) {
+  Bus bus(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(std::min(width, a.size())));
+  while (bus.size() < width) bus.push_back(cb.c0());
+  return bus;
+}
+
+Bus sext(CircuitBuilder& cb, const Bus& a, std::size_t width) {
+  if (a.empty()) return zext(cb, a, width);
+  Bus bus(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(std::min(width, a.size())));
+  while (bus.size() < width) bus.push_back(a.back());
+  return bus;
+}
+
+Bus not_bus(const Bus& a) {
+  Bus r;
+  r.reserve(a.size());
+  for (Wire w : a) r.push_back(CircuitBuilder::not_(w));
+  return r;
+}
+
+namespace {
+Bus zip(CircuitBuilder& cb, const Bus& a, const Bus& b, netlist::TruthTable tt) {
+  if (a.size() != b.size()) throw std::invalid_argument("stdlib: bus width mismatch");
+  Bus r;
+  r.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r.push_back(cb.gate(tt, a[i], b[i]));
+  return r;
+}
+}  // namespace
+
+Bus xor_bus(CircuitBuilder& cb, const Bus& a, const Bus& b) { return zip(cb, a, b, netlist::kTtXor); }
+Bus and_bus(CircuitBuilder& cb, const Bus& a, const Bus& b) { return zip(cb, a, b, netlist::kTtAnd); }
+Bus or_bus(CircuitBuilder& cb, const Bus& a, const Bus& b) { return zip(cb, a, b, netlist::kTtOr); }
+Bus andn_bus(CircuitBuilder& cb, const Bus& a, const Bus& b) {
+  return zip(cb, a, b, netlist::kTtAndANotB);
+}
+
+Bus shl_const(CircuitBuilder& cb, const Bus& a, std::size_t n) {
+  Bus r(a.size(), cb.c0());
+  for (std::size_t i = n; i < a.size(); ++i) r[i] = a[i - n];
+  return r;
+}
+
+Bus lshr_const(CircuitBuilder& cb, const Bus& a, std::size_t n) {
+  Bus r(a.size(), cb.c0());
+  for (std::size_t i = 0; i + n < a.size(); ++i) r[i] = a[i + n];
+  return r;
+}
+
+Bus ashr_const(const Bus& a, std::size_t n) {
+  Bus r(a.size(), a.empty() ? Wire{} : a.back());
+  for (std::size_t i = 0; i + n < a.size(); ++i) r[i] = a[i + n];
+  return r;
+}
+
+Bus ror_const(const Bus& a, std::size_t n) {
+  Bus r(a.size(), Wire{});
+  if (a.empty()) return r;
+  const std::size_t w = a.size();
+  for (std::size_t i = 0; i < w; ++i) r[i] = a[(i + n) % w];
+  return r;
+}
+
+namespace {
+Wire reduce(CircuitBuilder& cb, std::span<const Wire> bits, netlist::TruthTable tt,
+            Wire empty_value) {
+  if (bits.empty()) return empty_value;
+  // Balanced tree keeps depth logarithmic (matters for planner locality, not
+  // for GC cost).
+  std::vector<Wire> level(bits.begin(), bits.end());
+  while (level.size() > 1) {
+    std::vector<Wire> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(cb.gate(tt, level[i], level[i + 1]));
+    }
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+}  // namespace
+
+Wire reduce_or(CircuitBuilder& cb, std::span<const Wire> bits) {
+  return reduce(cb, bits, netlist::kTtOr, cb.c0());
+}
+Wire reduce_and(CircuitBuilder& cb, std::span<const Wire> bits) {
+  return reduce(cb, bits, netlist::kTtAnd, cb.c1());
+}
+Wire reduce_xor(CircuitBuilder& cb, std::span<const Wire> bits) {
+  return reduce(cb, bits, netlist::kTtXor, cb.c0());
+}
+
+Wire is_zero(CircuitBuilder& cb, const Bus& a) {
+  return CircuitBuilder::not_(reduce_or(cb, a));
+}
+
+FullAdderOut full_adder(CircuitBuilder& cb, Wire a, Wire b, Wire c) {
+  const Wire ac = cb.xor_(a, c);
+  const Wire bc = cb.xor_(b, c);
+  const Wire carry = cb.xor_(c, cb.and_(ac, bc));
+  const Wire sum = cb.xor_(ac, b);
+  return FullAdderOut{sum, carry};
+}
+
+AddOut add_full(CircuitBuilder& cb, const Bus& a, const Bus& b, Wire cin) {
+  if (a.size() != b.size()) throw std::invalid_argument("add_full: width mismatch");
+  AddOut out;
+  out.sum.reserve(a.size());
+  Wire carry = cin;
+  Wire carry_prev = cb.c0();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    carry_prev = carry;
+    const FullAdderOut fa = full_adder(cb, a[i], b[i], carry);
+    out.sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  out.carry_out = carry;
+  out.overflow = cb.xor_(carry, carry_prev);
+  return out;
+}
+
+Bus add(CircuitBuilder& cb, const Bus& a, const Bus& b) {
+  return add_full(cb, a, b, cb.c0()).sum;
+}
+
+AddOut sub_full(CircuitBuilder& cb, const Bus& a, const Bus& b) {
+  return add_full(cb, a, not_bus(b), cb.c1());
+}
+
+Bus sub(CircuitBuilder& cb, const Bus& a, const Bus& b) { return sub_full(cb, a, b).sum; }
+
+Bus inc(CircuitBuilder& cb, const Bus& a) {
+  Bus sum;
+  sum.reserve(a.size());
+  Wire carry = cb.c1();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum.push_back(cb.xor_(a[i], carry));
+    if (i + 1 < a.size()) carry = cb.and_(a[i], carry);
+  }
+  return sum;
+}
+
+Wire eq(CircuitBuilder& cb, const Bus& a, const Bus& b) {
+  return is_zero(cb, xor_bus(cb, a, b));
+}
+
+Wire ult(CircuitBuilder& cb, const Bus& a, const Bus& b) {
+  // a < b  <=>  no carry out of a + ~b + 1. Only the borrow chain is built;
+  // the sum gates would be dead logic (swept), so cost is n ANDs.
+  if (a.size() != b.size()) throw std::invalid_argument("ult: width mismatch");
+  Wire carry = cb.c1();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Wire ac = cb.xor_(a[i], carry);
+    const Wire bc = cb.xor_(CircuitBuilder::not_(b[i]), carry);
+    carry = cb.xor_(carry, cb.and_(ac, bc));
+  }
+  return CircuitBuilder::not_(carry);
+}
+
+Wire slt(CircuitBuilder& cb, const Bus& a, const Bus& b) {
+  // LT = N != V on a - b (ARM condition semantics).
+  const AddOut d = sub_full(cb, a, b);
+  return cb.xor_(d.sum.back(), d.overflow);
+}
+
+namespace {
+/// Reduces per-weight columns of bits with full/half adders until each column
+/// holds one wire. Carries ripple into the next column; columns at or above
+/// `width` are dropped (modular arithmetic). Shared by mul_lower/popcount.
+Bus reduce_columns(CircuitBuilder& cb, std::vector<std::vector<Wire>> cols, std::size_t width) {
+  cols.resize(width);
+  for (std::size_t w = 0; w < width; ++w) {
+    auto& col = cols[w];
+    std::size_t head = 0;
+    while (col.size() - head > 1) {
+      if (col.size() - head >= 3) {
+        const FullAdderOut fa = full_adder(cb, col[head], col[head + 1], col[head + 2]);
+        head += 3;
+        col.push_back(fa.sum);
+        if (w + 1 < width) cols[w + 1].push_back(fa.carry);
+      } else {
+        const Wire s = cb.xor_(col[head], col[head + 1]);
+        const Wire c = cb.and_(col[head], col[head + 1]);
+        head += 2;
+        col.push_back(s);
+        if (w + 1 < width) cols[w + 1].push_back(c);
+      }
+    }
+    col.erase(col.begin(), col.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  Bus out;
+  out.reserve(width);
+  for (std::size_t w = 0; w < width; ++w) out.push_back(cols[w].empty() ? cb.c0() : cols[w][0]);
+  return out;
+}
+}  // namespace
+
+Bus mul_lower(CircuitBuilder& cb, const Bus& a, const Bus& b, std::size_t out_width) {
+  std::vector<std::vector<Wire>> cols(out_width);
+  for (std::size_t j = 0; j < b.size() && j < out_width; ++j) {
+    for (std::size_t i = 0; i < a.size() && i + j < out_width; ++i) {
+      cols[i + j].push_back(cb.and_(a[i], b[j]));
+    }
+  }
+  return reduce_columns(cb, std::move(cols), out_width);
+}
+
+Bus popcount(CircuitBuilder& cb, std::span<const Wire> bits) {
+  std::size_t width = 1;
+  while ((1ull << width) <= bits.size()) ++width;
+  std::vector<std::vector<Wire>> cols(width);
+  cols[0].assign(bits.begin(), bits.end());
+  return reduce_columns(cb, std::move(cols), width);
+}
+
+Bus mux_bus(CircuitBuilder& cb, Wire sel, const Bus& t, const Bus& f) {
+  if (t.size() != f.size()) throw std::invalid_argument("mux_bus: width mismatch");
+  Bus r;
+  r.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) r.push_back(cb.mux(sel, t[i], f[i]));
+  return r;
+}
+
+Bus select(CircuitBuilder& cb, const Bus& sel, std::span<const Bus> options) {
+  if (options.empty()) throw std::invalid_argument("select: no options");
+  std::vector<Bus> level(options.begin(), options.end());
+  for (std::size_t k = 0; k < sel.size() && level.size() > 1; ++k) {
+    std::vector<Bus> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(mux_bus(cb, sel[k], level[i + 1], level[i]));
+    }
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+std::vector<Wire> decode_onehot(CircuitBuilder& cb, const Bus& sel) {
+  // Expanding from the most significant select bit down keeps the result in
+  // value order: after processing bit k, index bit 0 of `hot` corresponds to
+  // sel[k], so the final index is exactly the select value.
+  std::vector<Wire> hot{cb.c1()};
+  for (std::size_t k = sel.size(); k-- > 0;) {
+    std::vector<Wire> next(hot.size() * 2, Wire{});
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      next[2 * i] = cb.andn_(hot[i], sel[k]);  // hot & ~sel[k]
+      next[2 * i + 1] = cb.and_(hot[i], sel[k]);
+    }
+    hot = std::move(next);
+  }
+  return hot;
+}
+
+Bus barrel_right(CircuitBuilder& cb, const Bus& v, const Bus& amt, Wire fill, bool rotate) {
+  Bus cur = v;
+  for (std::size_t k = 0; k < amt.size(); ++k) {
+    const std::size_t sh = 1ull << k;
+    if (sh >= cur.size() && !rotate) {
+      // Shifting by >= width zeroes/sign-fills everything.
+      Bus shifted(cur.size(), fill);
+      cur = mux_bus(cb, amt[k], shifted, cur);
+      continue;
+    }
+    Bus shifted(cur.size(), fill);
+    const std::size_t w = cur.size();
+    for (std::size_t i = 0; i < w; ++i) {
+      const std::size_t src = i + sh;
+      if (src < w) {
+        shifted[i] = cur[src];
+      } else if (rotate) {
+        shifted[i] = cur[src % w];
+      }
+    }
+    cur = mux_bus(cb, amt[k], shifted, cur);
+  }
+  return cur;
+}
+
+Bus barrel_left(CircuitBuilder& cb, const Bus& v, const Bus& amt, Wire fill) {
+  Bus cur = v;
+  for (std::size_t k = 0; k < amt.size(); ++k) {
+    const std::size_t sh = 1ull << k;
+    Bus shifted(cur.size(), fill);
+    const std::size_t w = cur.size();
+    for (std::size_t i = 0; i < w; ++i) {
+      if (i >= sh && sh <= w) shifted[i] = cur[i - sh];
+    }
+    cur = mux_bus(cb, amt[k], shifted, cur);
+  }
+  return cur;
+}
+
+}  // namespace arm2gc::builder

@@ -1,0 +1,96 @@
+// GC-optimized building blocks: the equivalent of TinyGarble's technology
+// library. Every block is designed to minimize non-XOR gates under free-XOR
+// (ripple adders at 1 AND/bit, 1-AND multiplexers, carry-save multiplier and
+// popcount trees).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "builder/circuit_builder.h"
+
+namespace arm2gc::builder {
+
+// --- bus utilities ----------------------------------------------------------
+
+/// Constant bus from the low `width` bits of `value`.
+Bus bus_constant(CircuitBuilder& cb, std::uint64_t value, std::size_t width);
+
+/// Zero-extends (or truncates) to `width`.
+Bus zext(CircuitBuilder& cb, const Bus& a, std::size_t width);
+/// Sign-extends (or truncates) to `width`.
+Bus sext(CircuitBuilder& cb, const Bus& a, std::size_t width);
+
+Bus not_bus(const Bus& a);
+Bus xor_bus(CircuitBuilder& cb, const Bus& a, const Bus& b);
+Bus and_bus(CircuitBuilder& cb, const Bus& a, const Bus& b);
+Bus or_bus(CircuitBuilder& cb, const Bus& a, const Bus& b);
+Bus andn_bus(CircuitBuilder& cb, const Bus& a, const Bus& b);  // a & ~b
+
+// --- shifts by constants (free: pure rewiring) -------------------------------
+Bus shl_const(CircuitBuilder& cb, const Bus& a, std::size_t n);
+Bus lshr_const(CircuitBuilder& cb, const Bus& a, std::size_t n);
+Bus ashr_const(const Bus& a, std::size_t n);
+Bus ror_const(const Bus& a, std::size_t n);
+
+// --- reductions ---------------------------------------------------------------
+Wire reduce_or(CircuitBuilder& cb, std::span<const Wire> bits);
+Wire reduce_and(CircuitBuilder& cb, std::span<const Wire> bits);
+Wire reduce_xor(CircuitBuilder& cb, std::span<const Wire> bits);
+Wire is_zero(CircuitBuilder& cb, const Bus& a);
+
+// --- arithmetic ----------------------------------------------------------------
+
+/// One-bit full adder at one AND: sum = a^b^c, carry = c ^ ((a^c)&(b^c)).
+struct FullAdderOut {
+  Wire sum;
+  Wire carry;
+};
+FullAdderOut full_adder(CircuitBuilder& cb, Wire a, Wire b, Wire c);
+
+struct AddOut {
+  Bus sum;
+  Wire carry_out;  ///< carry out of the MSB (ARM C flag for additions)
+  Wire overflow;   ///< signed overflow (ARM V flag)
+};
+/// Ripple-carry addition a + b + cin; 1 AND per bit.
+AddOut add_full(CircuitBuilder& cb, const Bus& a, const Bus& b, Wire cin);
+Bus add(CircuitBuilder& cb, const Bus& a, const Bus& b);
+/// a - b = a + ~b + 1; carry_out is the ARM-style NOT-borrow.
+AddOut sub_full(CircuitBuilder& cb, const Bus& a, const Bus& b);
+Bus sub(CircuitBuilder& cb, const Bus& a, const Bus& b);
+/// a + 1 (half-adder chain; n-1 ANDs).
+Bus inc(CircuitBuilder& cb, const Bus& a);
+
+Wire eq(CircuitBuilder& cb, const Bus& a, const Bus& b);
+/// Unsigned a < b (n ANDs: borrow chain only).
+Wire ult(CircuitBuilder& cb, const Bus& a, const Bus& b);
+/// Signed a < b.
+Wire slt(CircuitBuilder& cb, const Bus& a, const Bus& b);
+
+/// Lower `out_width` bits of a*b via carry-save (Wallace-style) columns.
+Bus mul_lower(CircuitBuilder& cb, const Bus& a, const Bus& b, std::size_t out_width);
+
+/// Population count of `bits` as a minimal-width bus (carry-save counter tree,
+/// ~n ANDs total).
+Bus popcount(CircuitBuilder& cb, std::span<const Wire> bits);
+
+// --- selection ---------------------------------------------------------------
+Bus mux_bus(CircuitBuilder& cb, Wire sel, const Bus& t, const Bus& f);
+
+/// options[i] selected by the binary value of `sel`; options.size() need not
+/// be a power of two (out-of-range selects return options.back()).
+Bus select(CircuitBuilder& cb, const Bus& sel, std::span<const Bus> options);
+
+/// One-hot decoder: 2^sel.size() outputs.
+std::vector<Wire> decode_onehot(CircuitBuilder& cb, const Bus& sel);
+
+// --- barrel shifter ------------------------------------------------------------
+
+/// Right shift/rotate of `v` by the unsigned value of `amt` (staged muxes,
+/// 1 AND per bit per stage). `fill` supplies vacated bits (c0 for LSR, sign
+/// for ASR); `rotate` wraps instead.
+Bus barrel_right(CircuitBuilder& cb, const Bus& v, const Bus& amt, Wire fill, bool rotate);
+Bus barrel_left(CircuitBuilder& cb, const Bus& v, const Bus& amt, Wire fill);
+
+}  // namespace arm2gc::builder

@@ -1,0 +1,360 @@
+#include "circuits/gf_tower.h"
+
+#include <stdexcept>
+
+namespace arm2gc::circuits {
+
+namespace {
+
+using builder::Bus;
+using builder::CircuitBuilder;
+using builder::Wire;
+
+// --- GF(4) = GF(2)[x]/(x^2+x+1), elements as 2-bit values -------------------
+
+std::uint8_t mul4(std::uint8_t a, std::uint8_t b) {
+  const std::uint8_t a1 = (a >> 1) & 1, a0 = a & 1;
+  const std::uint8_t b1 = (b >> 1) & 1, b0 = b & 1;
+  const std::uint8_t hh = a1 & b1;
+  const std::uint8_t hi = static_cast<std::uint8_t>((a1 & b0) ^ (a0 & b1) ^ hh);
+  const std::uint8_t lo = static_cast<std::uint8_t>((a0 & b0) ^ hh);
+  return static_cast<std::uint8_t>((hi << 1) | lo);
+}
+
+std::uint8_t sq4(std::uint8_t a) {
+  const std::uint8_t a1 = (a >> 1) & 1, a0 = a & 1;
+  return static_cast<std::uint8_t>((a1 << 1) | (a1 ^ a0));
+}
+
+// GF(16) = GF(4)[y]/(y^2+y+N), elements hi<<2 | lo.
+constexpr std::uint8_t kN = 2;  // validated irreducible in GfTower()
+
+std::uint8_t mul16(std::uint8_t a, std::uint8_t b) {
+  const std::uint8_t a1 = (a >> 2) & 3, a0 = a & 3;
+  const std::uint8_t b1 = (b >> 2) & 3, b0 = b & 3;
+  const std::uint8_t p = mul4(a1, b1);
+  const std::uint8_t q = mul4(a0, b0);
+  const std::uint8_t r = mul4(a1 ^ a0, b1 ^ b0);
+  const std::uint8_t hi = static_cast<std::uint8_t>(r ^ q);
+  const std::uint8_t lo = static_cast<std::uint8_t>(mul4(p, kN) ^ q);
+  return static_cast<std::uint8_t>((hi << 2) | lo);
+}
+
+std::uint8_t sq16(std::uint8_t a) {
+  const std::uint8_t a1 = (a >> 2) & 3, a0 = a & 3;
+  const std::uint8_t h = sq4(a1);
+  return static_cast<std::uint8_t>((h << 2) | (mul4(h, kN) ^ sq4(a0)));
+}
+
+std::uint8_t inv16(std::uint8_t a) {
+  const std::uint8_t a1 = (a >> 2) & 3, a0 = a & 3;
+  const std::uint8_t delta =
+      static_cast<std::uint8_t>(mul4(sq4(a1), kN) ^ mul4(a1, a0) ^ sq4(a0));
+  const std::uint8_t idelta = sq4(delta);  // inverse in GF(4) is squaring
+  return static_cast<std::uint8_t>((mul4(a1, idelta) << 2) | mul4(a1 ^ a0, idelta));
+}
+
+// GF(256) tower = GF(16)[z]/(z^2+z+nu), elements hi<<4 | lo.
+std::uint8_t tower_mul(std::uint8_t a, std::uint8_t b, std::uint8_t nu) {
+  const std::uint8_t a1 = (a >> 4) & 15, a0 = a & 15;
+  const std::uint8_t b1 = (b >> 4) & 15, b0 = b & 15;
+  const std::uint8_t p = mul16(a1, b1);
+  const std::uint8_t q = mul16(a0, b0);
+  const std::uint8_t r = mul16(a1 ^ a0, b1 ^ b0);
+  return static_cast<std::uint8_t>(((r ^ q) << 4) | (mul16(p, nu) ^ q));
+}
+
+std::uint8_t tower_sq(std::uint8_t a, std::uint8_t nu) {
+  const std::uint8_t a1 = (a >> 4) & 15, a0 = a & 15;
+  const std::uint8_t h = sq16(a1);
+  return static_cast<std::uint8_t>((h << 4) | (mul16(h, nu) ^ sq16(a0)));
+}
+
+std::uint8_t tower_inv(std::uint8_t a, std::uint8_t nu) {
+  const std::uint8_t a1 = (a >> 4) & 15, a0 = a & 15;
+  const std::uint8_t delta =
+      static_cast<std::uint8_t>(mul16(sq16(a1), nu) ^ mul16(a1, a0) ^ sq16(a0));
+  const std::uint8_t idelta = inv16(delta);
+  return static_cast<std::uint8_t>((mul16(a1, idelta) << 4) | mul16(a1 ^ a0, idelta));
+}
+
+// AES polynomial field GF(2)[x]/(x^8+x^4+x^3+x+1).
+std::uint8_t aes_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  while (b != 0) {
+    if (b & 1u) p ^= a;
+    const bool hi = (a & 0x80u) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1bu;
+    b >>= 1;
+  }
+  return p;
+}
+
+constexpr std::uint8_t rotl8(std::uint8_t v, int n) {
+  return static_cast<std::uint8_t>((v << n) | (v >> (8 - n)));
+}
+
+std::uint8_t aes_affine(std::uint8_t b) {
+  return static_cast<std::uint8_t>(b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^
+                                   0x63u);
+}
+
+/// Inverts an 8x8 bit matrix given as 8 column bytes; throws if singular.
+std::array<std::uint8_t, 8> invert_bit_matrix(const std::array<std::uint8_t, 8>& cols) {
+  // Gauss-Jordan over GF(2); rows represented as 16-bit [A | I].
+  std::array<std::uint16_t, 8> rows{};
+  for (int r = 0; r < 8; ++r) {
+    std::uint16_t row = static_cast<std::uint16_t>(1u << (8 + r));  // identity part
+    for (int c = 0; c < 8; ++c) {
+      if ((cols[static_cast<std::size_t>(c)] >> r) & 1u) row |= static_cast<std::uint16_t>(1u << c);
+    }
+    rows[static_cast<std::size_t>(r)] = row;
+  }
+  for (int c = 0; c < 8; ++c) {
+    int pivot = -1;
+    for (int r = c; r < 8; ++r) {
+      if ((rows[static_cast<std::size_t>(r)] >> c) & 1u) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) throw std::logic_error("gf_tower: singular basis matrix");
+    std::swap(rows[static_cast<std::size_t>(c)], rows[static_cast<std::size_t>(pivot)]);
+    for (int r = 0; r < 8; ++r) {
+      if (r != c && ((rows[static_cast<std::size_t>(r)] >> c) & 1u)) {
+        rows[static_cast<std::size_t>(r)] ^= rows[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  std::array<std::uint8_t, 8> inv_cols{};
+  for (int c = 0; c < 8; ++c) {
+    std::uint8_t col = 0;
+    for (int r = 0; r < 8; ++r) {
+      if ((rows[static_cast<std::size_t>(r)] >> (8 + c)) & 1u) {
+        col = static_cast<std::uint8_t>(col | (1u << r));
+      }
+    }
+    inv_cols[static_cast<std::size_t>(c)] = col;
+  }
+  return inv_cols;
+}
+
+// --- circuit-side helpers -----------------------------------------------------
+
+/// out[j] = XOR over inputs i with bit j of cols[i] set (a GF(2) linear map).
+Bus apply_linear(CircuitBuilder& cb, const Bus& in, const std::uint8_t* cols,
+                 std::size_t out_bits) {
+  Bus out(out_bits, cb.c0());
+  for (std::size_t j = 0; j < out_bits; ++j) {
+    Wire acc = cb.c0();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if ((cols[i] >> j) & 1u) acc = cb.xor_(acc, in[i]);
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+/// Multiplication by a constant in GF(4)/GF(16) is linear; derive the column
+/// images from the reference arithmetic so circuit and model cannot diverge.
+Bus mul_const_circuit(CircuitBuilder& cb, const Bus& in, std::uint8_t k,
+                      std::uint8_t (*ref_mul)(std::uint8_t, std::uint8_t)) {
+  std::uint8_t cols[4] = {};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    cols[i] = ref_mul(static_cast<std::uint8_t>(1u << i), k);
+  }
+  return apply_linear(cb, in, cols, in.size());
+}
+
+Bus xor_buses(CircuitBuilder& cb, const Bus& a, const Bus& b) {
+  Bus r(a.size(), cb.c0());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = cb.xor_(a[i], b[i]);
+  return r;
+}
+
+Bus gf4_mul_circuit(CircuitBuilder& cb, const Bus& a, const Bus& b) {
+  const Wire p = cb.and_(a[1], b[1]);
+  const Wire q = cb.and_(a[0], b[0]);
+  const Wire r = cb.and_(cb.xor_(a[1], a[0]), cb.xor_(b[1], b[0]));
+  return Bus{cb.xor_(p, q), cb.xor_(r, q)};  // lo = p^q (N=2: see below), hi = r^q
+}
+
+Bus gf4_sq_circuit(CircuitBuilder& cb, const Bus& a) {
+  return Bus{cb.xor_(a[0], a[1]), a[1]};
+}
+
+Bus gf16_mul_circuit(CircuitBuilder& cb, const Bus& a, const Bus& b) {
+  const Bus a1{a[2], a[3]}, a0{a[0], a[1]};
+  const Bus b1{b[2], b[3]}, b0{b[0], b[1]};
+  const Bus p = gf4_mul_circuit(cb, a1, b1);
+  const Bus q = gf4_mul_circuit(cb, a0, b0);
+  const Bus r = gf4_mul_circuit(cb, xor_buses(cb, a1, a0), xor_buses(cb, b1, b0));
+  const Bus hi = xor_buses(cb, r, q);
+  const Bus lo = xor_buses(cb, mul_const_circuit(cb, p, kN, mul4), q);
+  return Bus{lo[0], lo[1], hi[0], hi[1]};
+}
+
+Bus gf16_sq_circuit(CircuitBuilder& cb, const Bus& a) {
+  const Bus a1{a[2], a[3]}, a0{a[0], a[1]};
+  const Bus h = gf4_sq_circuit(cb, a1);
+  const Bus lo = xor_buses(cb, mul_const_circuit(cb, h, kN, mul4), gf4_sq_circuit(cb, a0));
+  return Bus{lo[0], lo[1], h[0], h[1]};
+}
+
+Bus gf16_inv_circuit(CircuitBuilder& cb, const Bus& a) {
+  const Bus a1{a[2], a[3]}, a0{a[0], a[1]};
+  const Bus delta = xor_buses(
+      cb, xor_buses(cb, mul_const_circuit(cb, gf4_sq_circuit(cb, a1), kN, mul4),
+                    gf4_mul_circuit(cb, a1, a0)),
+      gf4_sq_circuit(cb, a0));
+  const Bus idelta = gf4_sq_circuit(cb, delta);
+  const Bus hi = gf4_mul_circuit(cb, a1, idelta);
+  const Bus lo = gf4_mul_circuit(cb, xor_buses(cb, a1, a0), idelta);
+  return Bus{lo[0], lo[1], hi[0], hi[1]};
+}
+
+std::uint8_t g_nu = 0;  // set once by GfTower(); used by the circuit builders
+
+std::uint8_t mul16_free(std::uint8_t a, std::uint8_t b) { return mul16(a, b); }
+
+Bus tower_inv_circuit(CircuitBuilder& cb, const Bus& x) {
+  const Bus a1{x[4], x[5], x[6], x[7]};
+  const Bus a0{x[0], x[1], x[2], x[3]};
+  Bus nu_scaled = gf16_sq_circuit(cb, a1);
+  // Scaling by nu is linear over GF(2).
+  std::uint8_t cols[4];
+  for (int i = 0; i < 4; ++i) cols[i] = mul16_free(static_cast<std::uint8_t>(1u << i), g_nu);
+  nu_scaled = apply_linear(cb, nu_scaled, cols, 4);
+  const Bus delta =
+      xor_buses(cb, xor_buses(cb, nu_scaled, gf16_mul_circuit(cb, a1, a0)),
+                gf16_sq_circuit(cb, a0));
+  const Bus idelta = gf16_inv_circuit(cb, delta);
+  const Bus hi = gf16_mul_circuit(cb, a1, idelta);
+  const Bus lo = gf16_mul_circuit(cb, xor_buses(cb, a1, a0), idelta);
+  return Bus{lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]};
+}
+
+const GfTower& tower() {
+  static const GfTower t;
+  return t;
+}
+
+}  // namespace
+
+GfTower::GfTower() {
+  // Validate the hard-coded GF(4) extension constant and pick nu such that
+  // z^2 + z + nu is irreducible over GF(16).
+  for (std::uint8_t y = 0; y < 4; ++y) {
+    if (static_cast<std::uint8_t>(sq4(y) ^ y ^ kN) == 0) {
+      throw std::logic_error("gf_tower: y^2+y+N reducible");
+    }
+  }
+  for (std::uint8_t cand = 1; cand < 16; ++cand) {
+    bool irreducible = true;
+    for (std::uint8_t z = 0; z < 16 && irreducible; ++z) {
+      if (static_cast<std::uint8_t>(sq16(z) ^ z ^ cand) == 0) irreducible = false;
+    }
+    if (irreducible) {
+      nu_ = cand;
+      break;
+    }
+  }
+  if (nu_ == 0) throw std::logic_error("gf_tower: no irreducible nu found");
+  g_nu = nu_;
+
+  // Find beta in the tower whose minimal polynomial is the AES polynomial:
+  // beta^8 + beta^4 + beta^3 + beta + 1 == 0. Mapping x^i -> beta^i is then a
+  // field isomorphism.
+  bool found = false;
+  for (int cand = 2; cand < 256 && !found; ++cand) {
+    const auto beta = static_cast<std::uint8_t>(cand);
+    std::array<std::uint8_t, 9> pw{};
+    pw[0] = 1;
+    for (int i = 1; i <= 8; ++i) pw[static_cast<std::size_t>(i)] = tower_mul(pw[static_cast<std::size_t>(i - 1)], beta, nu_);
+    if (static_cast<std::uint8_t>(pw[8] ^ pw[4] ^ pw[3] ^ pw[1] ^ 1u) != 0) continue;
+    for (int i = 0; i < 8; ++i) to_tower_cols_[static_cast<std::size_t>(i)] = pw[static_cast<std::size_t>(i)];
+    try {
+      from_tower_cols_ = invert_bit_matrix(to_tower_cols_);
+    } catch (const std::logic_error&) {
+      continue;  // powers not independent: not a degree-8 element
+    }
+    found = true;
+  }
+  if (!found) throw std::logic_error("gf_tower: no isomorphism found");
+
+  // Self-check: phi must be multiplicative and inversion must commute.
+  for (int a = 1; a < 256; a += 37) {
+    for (int b = 1; b < 256; b += 41) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      if (to_tower(aes_mul(ua, ub)) != tower_mul(to_tower(ua), to_tower(ub), nu_)) {
+        throw std::logic_error("gf_tower: isomorphism is not multiplicative");
+      }
+    }
+  }
+}
+
+std::uint8_t GfTower::mul(std::uint8_t a, std::uint8_t b) const { return tower_mul(a, b, nu_); }
+std::uint8_t GfTower::inv(std::uint8_t a) const { return tower_inv(a, nu_); }
+
+std::uint8_t GfTower::to_tower(std::uint8_t x) const {
+  std::uint8_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    if ((x >> i) & 1u) r ^= to_tower_cols_[static_cast<std::size_t>(i)];
+  }
+  return r;
+}
+
+std::uint8_t GfTower::from_tower(std::uint8_t x) const {
+  std::uint8_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    if ((x >> i) & 1u) r ^= from_tower_cols_[static_cast<std::size_t>(i)];
+  }
+  return r;
+}
+
+std::uint8_t GfTower::sbox(std::uint8_t x) const {
+  return aes_affine(from_tower(inv(to_tower(x))));
+}
+
+std::uint8_t aes_sbox_reference(std::uint8_t x) {
+  if (x == 0) return aes_affine(0);
+  // Brute-force inverse in the AES field.
+  for (int y = 1; y < 256; ++y) {
+    if (aes_mul(x, static_cast<std::uint8_t>(y)) == 1) {
+      return aes_affine(static_cast<std::uint8_t>(y));
+    }
+  }
+  return 0;  // unreachable
+}
+
+builder::Bus build_gf256_inverse(builder::CircuitBuilder& cb, const builder::Bus& x) {
+  const GfTower& t = tower();
+  std::array<std::uint8_t, 8> in_cols{};
+  std::array<std::uint8_t, 8> out_cols{};
+  for (int i = 0; i < 8; ++i) {
+    in_cols[static_cast<std::size_t>(i)] = t.to_tower(static_cast<std::uint8_t>(1u << i));
+    out_cols[static_cast<std::size_t>(i)] = t.from_tower(static_cast<std::uint8_t>(1u << i));
+  }
+  const Bus tw = apply_linear(cb, x, in_cols.data(), 8);
+  const Bus inv = tower_inv_circuit(cb, tw);
+  return apply_linear(cb, inv, out_cols.data(), 8);
+}
+
+builder::Bus build_sbox(builder::CircuitBuilder& cb, const builder::Bus& x) {
+  const Bus inv = build_gf256_inverse(cb, x);
+  // Affine layer: s_i = b_i ^ b_{i-1} ^ b_{i-2} ^ b_{i-3} ^ b_{i-4} ^ c_i.
+  Bus out(8, cb.c0());
+  for (int i = 0; i < 8; ++i) {
+    Wire acc = inv[static_cast<std::size_t>(i)];
+    for (int k = 1; k <= 4; ++k) {
+      acc = cb.xor_(acc, inv[static_cast<std::size_t>((i - k + 8) % 8)]);
+    }
+    if ((0x63u >> i) & 1u) acc = CircuitBuilder::not_(acc);
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+}  // namespace arm2gc::circuits

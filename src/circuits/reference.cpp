@@ -1,0 +1,117 @@
+#include "circuits/reference.h"
+
+#include "crypto/aes128.h"
+
+namespace arm2gc::circuits {
+
+namespace {
+
+constexpr std::uint64_t rotl64(std::uint64_t v, unsigned n) {
+  return n == 0 ? v : (v << n) | (v >> (64 - n));
+}
+
+/// Rho rotation offsets, lane (x,y) at x + 5y.
+constexpr std::array<unsigned, 25> kRho = {0,  1,  62, 28, 27,   // y=0
+                                           36, 44, 6,  55, 20,   // y=1
+                                           3,  10, 43, 25, 39,   // y=2
+                                           41, 45, 15, 21, 8,    // y=3
+                                           18, 2,  61, 56, 14};  // y=4
+
+std::array<std::uint64_t, 24> compute_rc() {
+  // LFSR rc(t) over x^8 + x^6 + x^5 + x^4 + 1 (FIPS-202 Algorithm 5).
+  std::array<std::uint64_t, 24> rc{};
+  std::uint8_t lfsr = 1;
+  auto step = [&]() {
+    const bool out = (lfsr & 1u) != 0;
+    const bool hi = (lfsr & 0x80u) != 0;
+    lfsr = static_cast<std::uint8_t>(lfsr << 1);
+    if (hi) lfsr ^= 0x71u;  // taps for x^8+x^6+x^5+x^4+1 after the shift
+    return out;
+  };
+  for (int ir = 0; ir < 24; ++ir) {
+    std::uint64_t v = 0;
+    for (int j = 0; j <= 6; ++j) {
+      if (step()) v |= 1ull << ((1u << j) - 1);
+    }
+    rc[static_cast<std::size_t>(ir)] = v;
+  }
+  return rc;
+}
+
+}  // namespace
+
+const std::array<std::uint64_t, 24>& keccak_round_constants() {
+  static const std::array<std::uint64_t, 24> rc = compute_rc();
+  return rc;
+}
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) {
+  const auto& rc = keccak_round_constants();
+  for (int round = 0; round < 24; ++round) {
+    // Theta.
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[static_cast<std::size_t>(x)] ^ a[static_cast<std::size_t>(x + 5)] ^
+             a[static_cast<std::size_t>(x + 10)] ^ a[static_cast<std::size_t>(x + 15)] ^
+             a[static_cast<std::size_t>(x + 20)];
+    }
+    std::uint64_t d[5];
+    for (int x = 0; x < 5; ++x) d[x] = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) a[static_cast<std::size_t>(x + 5 * y)] ^= d[x];
+    }
+    // Rho + Pi.
+    std::array<std::uint64_t, 25> b{};
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        const int nx = y;
+        const int ny = (2 * x + 3 * y) % 5;
+        b[static_cast<std::size_t>(nx + 5 * ny)] =
+            rotl64(a[static_cast<std::size_t>(x + 5 * y)], kRho[static_cast<std::size_t>(x + 5 * y)]);
+      }
+    }
+    // Chi.
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        a[static_cast<std::size_t>(x + 5 * y)] =
+            b[static_cast<std::size_t>(x + 5 * y)] ^
+            (~b[static_cast<std::size_t>((x + 1) % 5 + 5 * y)] &
+             b[static_cast<std::size_t>((x + 2) % 5 + 5 * y)]);
+      }
+    }
+    // Iota.
+    a[0] ^= rc[static_cast<std::size_t>(round)];
+  }
+}
+
+std::array<std::uint8_t, 32> sha3_256(const std::vector<std::uint8_t>& message) {
+  constexpr std::size_t kRate = 136;  // bytes
+  std::array<std::uint64_t, 25> state{};
+  std::vector<std::uint8_t> padded = message;
+  padded.push_back(0x06);
+  while (padded.size() % kRate != 0) padded.push_back(0x00);
+  padded.back() ^= 0x80;
+
+  for (std::size_t off = 0; off < padded.size(); off += kRate) {
+    for (std::size_t i = 0; i < kRate; ++i) {
+      state[i / 8] ^= static_cast<std::uint64_t>(padded[off + i]) << (8 * (i % 8));
+    }
+    keccak_f1600(state);
+  }
+  std::array<std::uint8_t, 32> digest{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    digest[i] = static_cast<std::uint8_t>(state[i / 8] >> (8 * (i % 8)));
+  }
+  return digest;
+}
+
+std::array<std::uint8_t, 16> aes128_encrypt(const std::array<std::uint8_t, 16>& key,
+                                            const std::array<std::uint8_t, 16>& pt) {
+  const crypto::Aes128 aes(crypto::Block::from_bytes(key.data()));
+  const crypto::Block ct = aes.encrypt(crypto::Block::from_bytes(pt.data()));
+  std::array<std::uint8_t, 16> out{};
+  ct.to_bytes(out.data());
+  return out;
+}
+
+}  // namespace arm2gc::circuits

@@ -1,0 +1,24 @@
+// Plain-software reference implementations used to validate the benchmark
+// circuits and the ARM programs (Keccak/SHA3, AES, and small helpers).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace arm2gc::circuits {
+
+/// Keccak-f[1600] permutation on the 25-lane state (lane (x,y) at x + 5y).
+void keccak_f1600(std::array<std::uint64_t, 25>& state);
+
+/// Keccak round constants RC[0..23].
+const std::array<std::uint64_t, 24>& keccak_round_constants();
+
+/// SHA3-256 of an arbitrary message (multi-block sponge).
+std::array<std::uint8_t, 32> sha3_256(const std::vector<std::uint8_t>& message);
+
+/// AES-128 encryption of one block, byte-array interface (FIPS-197 order).
+std::array<std::uint8_t, 16> aes128_encrypt(const std::array<std::uint8_t, 16>& key,
+                                            const std::array<std::uint8_t, 16>& pt);
+
+}  // namespace arm2gc::circuits

@@ -1,0 +1,101 @@
+// SkipGate (paper §3): per-clock-cycle, gate-level elision of garbling work.
+//
+// The paper's algorithms 1-6 interleave bookkeeping with garbling and filter
+// dead garbled tables at the end of each cycle. We restructure this — with
+// identical externally visible behaviour — as a deterministic two-pass *plan*
+// per cycle that both parties compute independently from public data only:
+//
+//   Forward pass   classify every gate (categories i-iv) using public wire
+//                  values and secret-wire fingerprints; a fingerprint is a
+//                  deterministic public alias for the XOR-combination of base
+//                  labels a wire carries, so "fingerprints equal (+flip)" is
+//                  exactly the paper's "identical or inverted labels" test
+//                  (§3.3) without touching any key material.
+//   Backward pass  from the sampled outputs and flip-flop D-inputs, sweep
+//                  "needed" backwards; a category-iv gate is emitted iff its
+//                  output is needed. This reaches the same fixpoint as the
+//                  paper's recursive label_fanout reduction (label_fanout>0
+//                  iff needed) and makes Alice's table list and Bob's
+//                  expectations agree by construction.
+//
+// The driver runs garbler and evaluator over the shared plan; only garbled
+// tables, input labels and output labels cross the channel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "crypto/block.h"
+#include "gc/channel.h"
+#include "gc/garble.h"
+#include "netlist/netlist.h"
+
+namespace arm2gc::core {
+
+/// SkipGate = the paper's protocol; Conventional = classic sequential GC that
+/// treats every wire (including constants, public inputs and known initial
+/// values) as secret — the "w/o SkipGate" baseline of Tables 1 and 4.
+enum class Mode : std::uint8_t { SkipGate, Conventional };
+
+struct RunStats {
+  std::uint64_t cycles = 0;
+  /// Garbled tables actually transferred: the paper's "# of Garbled Non-XOR".
+  std::uint64_t garbled_non_xor = 0;
+  /// Non-affine gate slots (gate x cycle) that were *not* garbled.
+  std::uint64_t skipped_non_xor = 0;
+  /// Non-affine gate slots encountered = count_non_free() x cycles; equals
+  /// the conventional-GC cost of the same run.
+  std::uint64_t non_xor_slots = 0;
+  gc::CommStats comm;
+};
+
+struct RunOptions {
+  Mode mode = Mode::SkipGate;
+  gc::Scheme scheme = gc::Scheme::HalfGates;
+  /// Run exactly this many cycles (sequential circuits with a known schedule).
+  std::optional<std::uint64_t> fixed_cycles;
+  /// Public wire that announces termination (the processor's halt signal);
+  /// the cycle where it becomes 1 is the final cycle. Must be public.
+  std::optional<netlist::WireId> halt_wire;
+  /// Safety bound when running halt-driven.
+  std::uint64_t max_cycles = 1u << 20;
+  crypto::Block seed{0x4152433247430100ULL, 0x736b697067617465ULL};
+};
+
+/// Per-cycle bit provider for streamed inputs (bit-serial circuits). Index i
+/// must cover every Input with streamed=true and bit_index==i of that owner.
+struct StreamProvider {
+  std::function<netlist::BitVec(std::uint64_t cycle)> alice;
+  std::function<netlist::BitVec(std::uint64_t cycle)> bob;
+  std::function<netlist::BitVec(std::uint64_t cycle)> pub;
+};
+
+struct RunResult {
+  /// Outputs of every sampled cycle (every cycle if outputs_every_cycle,
+  /// otherwise just the final one).
+  std::vector<netlist::BitVec> sampled_outputs;
+  /// Convenience: the last sampled outputs.
+  netlist::BitVec final_outputs;
+  std::uint64_t final_cycle = 0;  ///< index of the last executed cycle
+  RunStats stats;
+};
+
+/// Two-party sequential garbling driver (garbler + evaluator in-process,
+/// exchanging data only through a byte-accounted channel).
+class SkipGateDriver {
+ public:
+  SkipGateDriver(const netlist::Netlist& nl, RunOptions opts);
+
+  /// Executes the protocol. `alice_bits`/`bob_bits`/`pub_bits` bind fixed
+  /// inputs and flip-flop initial values (shared index space per owner).
+  RunResult run(const netlist::BitVec& alice_bits, const netlist::BitVec& bob_bits,
+                const netlist::BitVec& pub_bits = {}, const StreamProvider* streams = nullptr);
+
+ private:
+  const netlist::Netlist& nl_;
+  RunOptions opts_;
+};
+
+}  // namespace arm2gc::core

@@ -1,0 +1,157 @@
+#include "crypto/aes128.h"
+
+#include <array>
+
+namespace arm2gc::crypto {
+namespace {
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  while (b != 0) {
+    if (b & 1u) p ^= a;
+    const bool hi = (a & 0x80u) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1bu;
+    b >>= 1;
+  }
+  return p;
+}
+
+constexpr std::uint8_t rotl8(std::uint8_t v, int n) {
+  return static_cast<std::uint8_t>((v << n) | (v >> (8 - n)));
+}
+
+// The S-box is derived from first principles (GF(2^8) inversion + affine map)
+// rather than transcribed, so a table typo is impossible; the FIPS-197 test
+// vector in tests/crypto_test.cpp pins the result.
+struct Tables {
+  std::array<std::uint8_t, 256> sbox{};
+  // Te[r][x] = round-transform table r (MixColumns * SubBytes), rotated copies.
+  std::array<std::array<std::uint32_t, 256>, 4> te{};
+
+  Tables() {
+    std::array<std::uint8_t, 256> inv{};
+    // Build log/alog tables over generator 3 to get inverses in O(256).
+    std::array<std::uint8_t, 256> alog{};
+    std::array<std::uint8_t, 256> log{};
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      alog[static_cast<std::size_t>(i)] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      x = gf_mul(x, 3);
+    }
+    for (int i = 1; i < 256; ++i) {
+      inv[static_cast<std::size_t>(i)] =
+          alog[static_cast<std::size_t>((255 - log[static_cast<std::size_t>(i)]) % 255)];
+    }
+    for (int i = 0; i < 256; ++i) {
+      const std::uint8_t b = inv[static_cast<std::size_t>(i)];
+      sbox[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+          b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63u);
+    }
+    for (int i = 0; i < 256; ++i) {
+      const std::uint8_t s = sbox[static_cast<std::size_t>(i)];
+      const std::uint32_t t = (static_cast<std::uint32_t>(gf_mul(s, 2)) << 24) |
+                              (static_cast<std::uint32_t>(s) << 16) |
+                              (static_cast<std::uint32_t>(s) << 8) |
+                              static_cast<std::uint32_t>(gf_mul(s, 3));
+      te[0][static_cast<std::size_t>(i)] = t;
+      te[1][static_cast<std::size_t>(i)] = (t >> 8) | (t << 24);
+      te[2][static_cast<std::size_t>(i)] = (t >> 16) | (t << 16);
+      te[3][static_cast<std::size_t>(i)] = (t >> 24) | (t << 8);
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+std::uint32_t sub_word(std::uint32_t w) {
+  const auto& s = tables().sbox;
+  return (static_cast<std::uint32_t>(s[(w >> 24) & 0xffu]) << 24) |
+         (static_cast<std::uint32_t>(s[(w >> 16) & 0xffu]) << 16) |
+         (static_cast<std::uint32_t>(s[(w >> 8) & 0xffu]) << 8) |
+         static_cast<std::uint32_t>(s[w & 0xffu]);
+}
+
+constexpr std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+std::uint32_t load_be(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+void store_be(std::uint8_t* p, std::uint32_t w) {
+  p[0] = static_cast<std::uint8_t>(w >> 24);
+  p[1] = static_cast<std::uint8_t>(w >> 16);
+  p[2] = static_cast<std::uint8_t>(w >> 8);
+  p[3] = static_cast<std::uint8_t>(w);
+}
+
+}  // namespace
+
+Aes128::Aes128(Block key) {
+  std::uint8_t kb[16];
+  key.to_bytes(kb);
+  for (int i = 0; i < 4; ++i) round_keys_[static_cast<std::size_t>(i)] = load_be(kb + 4 * i);
+  std::uint8_t rcon = 1;
+  for (int i = 4; i < 44; ++i) {
+    std::uint32_t tmp = round_keys_[static_cast<std::size_t>(i - 1)];
+    if (i % 4 == 0) {
+      tmp = sub_word(rot_word(tmp)) ^ (static_cast<std::uint32_t>(rcon) << 24);
+      rcon = gf_mul(rcon, 2);
+    }
+    round_keys_[static_cast<std::size_t>(i)] = round_keys_[static_cast<std::size_t>(i - 4)] ^ tmp;
+  }
+}
+
+Block Aes128::encrypt(Block plaintext) const {
+  const auto& tb = tables();
+  std::uint8_t in[16];
+  plaintext.to_bytes(in);
+  std::uint32_t s0 = load_be(in) ^ round_keys_[0];
+  std::uint32_t s1 = load_be(in + 4) ^ round_keys_[1];
+  std::uint32_t s2 = load_be(in + 8) ^ round_keys_[2];
+  std::uint32_t s3 = load_be(in + 12) ^ round_keys_[3];
+
+  for (int round = 1; round < 10; ++round) {
+    const std::uint32_t* rk = &round_keys_[static_cast<std::size_t>(4 * round)];
+    const std::uint32_t t0 = tb.te[0][(s0 >> 24) & 0xffu] ^ tb.te[1][(s1 >> 16) & 0xffu] ^
+                             tb.te[2][(s2 >> 8) & 0xffu] ^ tb.te[3][s3 & 0xffu] ^ rk[0];
+    const std::uint32_t t1 = tb.te[0][(s1 >> 24) & 0xffu] ^ tb.te[1][(s2 >> 16) & 0xffu] ^
+                             tb.te[2][(s3 >> 8) & 0xffu] ^ tb.te[3][s0 & 0xffu] ^ rk[1];
+    const std::uint32_t t2 = tb.te[0][(s2 >> 24) & 0xffu] ^ tb.te[1][(s3 >> 16) & 0xffu] ^
+                             tb.te[2][(s0 >> 8) & 0xffu] ^ tb.te[3][s1 & 0xffu] ^ rk[2];
+    const std::uint32_t t3 = tb.te[0][(s3 >> 24) & 0xffu] ^ tb.te[1][(s0 >> 16) & 0xffu] ^
+                             tb.te[2][(s1 >> 8) & 0xffu] ^ tb.te[3][s2 & 0xffu] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  const auto& sb = tb.sbox;
+  const std::uint32_t* rk = &round_keys_[40];
+  auto final_word = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d) {
+    return (static_cast<std::uint32_t>(sb[(a >> 24) & 0xffu]) << 24) |
+           (static_cast<std::uint32_t>(sb[(b >> 16) & 0xffu]) << 16) |
+           (static_cast<std::uint32_t>(sb[(c >> 8) & 0xffu]) << 8) |
+           static_cast<std::uint32_t>(sb[d & 0xffu]);
+  };
+  const std::uint32_t o0 = final_word(s0, s1, s2, s3) ^ rk[0];
+  const std::uint32_t o1 = final_word(s1, s2, s3, s0) ^ rk[1];
+  const std::uint32_t o2 = final_word(s2, s3, s0, s1) ^ rk[2];
+  const std::uint32_t o3 = final_word(s3, s0, s1, s2) ^ rk[3];
+
+  std::uint8_t out[16];
+  store_be(out, o0);
+  store_be(out + 4, o1);
+  store_be(out + 8, o2);
+  store_be(out + 12, o3);
+  return Block::from_bytes(out);
+}
+
+}  // namespace arm2gc::crypto

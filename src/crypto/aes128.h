@@ -1,0 +1,27 @@
+// Minimal software AES-128 (encryption only), the primitive behind the
+// fixed-key garbling hash and the deterministic random generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/block.h"
+
+namespace arm2gc::crypto {
+
+/// AES-128 in encrypt-only mode. The expanded key schedule is precomputed at
+/// construction; `encrypt` is a pure function of the state afterwards.
+class Aes128 {
+ public:
+  /// Expands `key` (16 bytes, little-endian Block encoding) into 11 round keys.
+  explicit Aes128(Block key);
+
+  /// Encrypts one 16-byte block (ECB, single block).
+  [[nodiscard]] Block encrypt(Block plaintext) const;
+
+ private:
+  // 11 round keys, 4 words each, stored column-major as in FIPS-197.
+  std::array<std::uint32_t, 44> round_keys_{};
+};
+
+}  // namespace arm2gc::crypto

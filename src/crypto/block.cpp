@@ -1,0 +1,21 @@
+#include "crypto/block.h"
+
+#include <array>
+
+namespace arm2gc::crypto {
+
+std::string Block::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::uint8_t bytes[16];
+  to_bytes(bytes);
+  std::string s;
+  s.reserve(32);
+  // Print most-significant byte first for human readability.
+  for (int i = 15; i >= 0; --i) {
+    s.push_back(kDigits[bytes[i] >> 4]);
+    s.push_back(kDigits[bytes[i] & 0xf]);
+  }
+  return s;
+}
+
+}  // namespace arm2gc::crypto

@@ -1,0 +1,72 @@
+// 128-bit block type used for wire labels and cipher states.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+namespace arm2gc::crypto {
+
+/// A 128-bit value. `lo` holds bits 0..63 (bit 0 = least significant), `hi`
+/// holds bits 64..127. All operations are constant-time bitwise ops.
+struct Block {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  constexpr Block() = default;
+  constexpr Block(std::uint64_t lo_, std::uint64_t hi_) : lo(lo_), hi(hi_) {}
+
+  friend constexpr Block operator^(Block a, Block b) {
+    return Block{a.lo ^ b.lo, a.hi ^ b.hi};
+  }
+  Block& operator^=(Block b) {
+    lo ^= b.lo;
+    hi ^= b.hi;
+    return *this;
+  }
+  friend constexpr bool operator==(Block a, Block b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  /// Least significant bit; used as the point-and-permute select bit.
+  [[nodiscard]] constexpr bool lsb() const { return (lo & 1u) != 0; }
+
+  /// True iff the block is all-zero.
+  [[nodiscard]] constexpr bool is_zero() const { return lo == 0 && hi == 0; }
+
+  /// Doubling in GF(2^128) with the standard reduction polynomial
+  /// x^128 + x^7 + x^2 + x + 1. Used to derive distinct pi-hash tweaks.
+  [[nodiscard]] constexpr Block gf_double() const {
+    const std::uint64_t carry = hi >> 63;
+    Block r{lo << 1, (hi << 1) | (lo >> 63)};
+    r.lo ^= carry * 0x87u;
+    return r;
+  }
+
+  /// Serialize to 16 little-endian bytes.
+  void to_bytes(std::uint8_t out[16]) const {
+    std::memcpy(out, &lo, 8);
+    std::memcpy(out + 8, &hi, 8);
+  }
+  static Block from_bytes(const std::uint8_t in[16]) {
+    Block b;
+    std::memcpy(&b.lo, in, 8);
+    std::memcpy(&b.hi, in + 8, 8);
+    return b;
+  }
+
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Block from a small integer, useful for tweaks and tests.
+constexpr Block block_from_u64(std::uint64_t v) { return Block{v, 0}; }
+
+}  // namespace arm2gc::crypto
+
+template <>
+struct std::hash<arm2gc::crypto::Block> {
+  std::size_t operator()(const arm2gc::crypto::Block& b) const noexcept {
+    return static_cast<std::size_t>(b.lo * 0x9e3779b97f4a7c15ull ^ b.hi);
+  }
+};

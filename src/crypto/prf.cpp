@@ -1,0 +1,17 @@
+#include "crypto/prf.h"
+
+namespace arm2gc::crypto {
+
+namespace {
+// Fixed public permutation key; any constant works (it is public by design).
+constexpr Block kFixedKey{0x1032547698badcfeULL, 0xefcdab8967452301ULL};
+}  // namespace
+
+GarbleHash::GarbleHash() : pi_(kFixedKey) {}
+
+Block GarbleHash::operator()(Block label, std::uint64_t tweak) const {
+  const Block k = label.gf_double() ^ block_from_u64(tweak);
+  return pi_.encrypt(k) ^ k;
+}
+
+}  // namespace arm2gc::crypto

@@ -1,0 +1,27 @@
+// Fixed-key garbling hash H(X, tweak) built from AES-128, following the
+// pi-hash of Bellare et al. (S&P'13): H(X,t) = pi(K) xor K with K = 2X xor t,
+// where pi is AES under a fixed public key. This is the hash used by
+// JustGarble/TinyGarble-style engines and by the half-gates construction.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/aes128.h"
+#include "crypto/block.h"
+
+namespace arm2gc::crypto {
+
+/// Correlation-robust hash for garbling. Stateless and thread-compatible; the
+/// fixed AES key is baked in at construction.
+class GarbleHash {
+ public:
+  GarbleHash();
+
+  /// H(label, tweak): tweak must be unique per (gate, row-half) use.
+  [[nodiscard]] Block operator()(Block label, std::uint64_t tweak) const;
+
+ private:
+  Aes128 pi_;
+};
+
+}  // namespace arm2gc::crypto

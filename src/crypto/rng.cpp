@@ -1,0 +1,5 @@
+#include "crypto/rng.h"
+
+// CtrRng is header-only today; this translation unit anchors the library and
+// keeps a stable home for future non-inline additions.
+namespace arm2gc::crypto {}

@@ -1,0 +1,74 @@
+// In-memory channel between garbler (Alice) and evaluator (Bob) with exact
+// byte accounting per traffic class. Communication volume — not computation —
+// is the GC bottleneck (Gueron et al., CCS'15), so the counters here are the
+// primary measurement instrument of the reproduction.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/block.h"
+
+namespace arm2gc::gc {
+
+enum class Traffic : std::uint8_t {
+  GarbledTable,  ///< half-gate ciphertexts (2 blocks per non-XOR gate)
+  InputLabel,    ///< Alice's own input labels
+  Ot,            ///< Bob's input labels (counted at OT-extension cost)
+  OutputDecode,  ///< output labels / decode bits at the end
+};
+
+struct CommStats {
+  std::uint64_t garbled_table_bytes = 0;
+  std::uint64_t input_label_bytes = 0;
+  std::uint64_t ot_bytes = 0;
+  std::uint64_t output_bytes = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return garbled_table_bytes + input_label_bytes + ot_bytes + output_bytes;
+  }
+};
+
+/// FIFO of 128-bit blocks written by one side and read by the other. The
+/// driver runs garbler and evaluator in-process; a real deployment would
+/// stream the same blocks over a socket.
+class Channel {
+ public:
+  void send(crypto::Block b, Traffic t) {
+    blocks_.push_back(b);
+    account(t, 16);
+  }
+
+  crypto::Block recv() {
+    if (read_pos_ >= blocks_.size()) throw std::runtime_error("channel: underrun");
+    return blocks_[read_pos_++];
+  }
+
+  /// Extra bytes that a real transport would carry (e.g. OT extension
+  /// overhead beyond the blocks actually moved in-process).
+  void account(Traffic t, std::uint64_t bytes) {
+    switch (t) {
+      case Traffic::GarbledTable: stats_.garbled_table_bytes += bytes; break;
+      case Traffic::InputLabel: stats_.input_label_bytes += bytes; break;
+      case Traffic::Ot: stats_.ot_bytes += bytes; break;
+      case Traffic::OutputDecode: stats_.output_bytes += bytes; break;
+    }
+  }
+
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t unread() const { return blocks_.size() - read_pos_; }
+
+  /// Drops delivered blocks to bound memory on long runs.
+  void compact() {
+    blocks_.erase(blocks_.begin(), blocks_.begin() + static_cast<std::ptrdiff_t>(read_pos_));
+    read_pos_ = 0;
+  }
+
+ private:
+  std::vector<crypto::Block> blocks_;
+  std::size_t read_pos_ = 0;
+  CommStats stats_;
+};
+
+}  // namespace arm2gc::gc

@@ -1,0 +1,131 @@
+#include "gc/garble.h"
+
+#include <stdexcept>
+
+namespace arm2gc::gc {
+
+namespace {
+constexpr Block kZero{};
+
+Block maybe(Block b, bool take) { return take ? b : kZero; }
+}  // namespace
+
+Garbler::Garbler(Block seed, Scheme scheme) : rng_(seed), scheme_(scheme) {
+  r_ = rng_.next_block();
+  r_.lo |= 1u;  // point-and-permute: lsb(R) = 1 so the two labels differ in lsb
+}
+
+Block Garbler::fresh_label() { return rng_.next_block(); }
+
+Block Garbler::garble(Block a0, Block b0, netlist::AndCore core, GarbledTable& table) {
+  // Fold the gate's polarity into the labels: garble a plain AND over the
+  // polarity-adjusted false labels, flip the output for gamma.
+  const Block ea0 = a0 ^ maybe(r_, core.alpha);
+  const Block eb0 = b0 ^ maybe(r_, core.beta);
+  Block out0;
+  switch (scheme_) {
+    case Scheme::HalfGates: out0 = half_gates(ea0, eb0, table); break;
+    case Scheme::Grr3: out0 = classic(ea0, eb0, table, /*grr3=*/true); break;
+    case Scheme::Classic4: out0 = classic(ea0, eb0, table, /*grr3=*/false); break;
+    default: throw std::logic_error("garbler: unknown scheme");
+  }
+  ++gate_counter_;
+  return out0 ^ maybe(r_, core.gamma);
+}
+
+Block Garbler::half_gates(Block a0, Block b0, GarbledTable& table) {
+  const bool pa = a0.lsb();
+  const bool pb = b0.lsb();
+  const std::uint64_t j0 = tweak_++;
+  const std::uint64_t j1 = tweak_++;
+
+  const Block ha0 = hash_(a0, j0);
+  const Block ha1 = hash_(a0 ^ r_, j0);
+  const Block tg = ha0 ^ ha1 ^ maybe(r_, pb);
+  const Block wg0 = ha0 ^ maybe(tg, pa);
+
+  const Block hb0 = hash_(b0, j1);
+  const Block hb1 = hash_(b0 ^ r_, j1);
+  const Block te = hb0 ^ hb1 ^ a0;
+  const Block we0 = hb0 ^ maybe(te ^ a0, pb);
+
+  table.rows[0] = tg;
+  table.rows[1] = te;
+  table.count = 2;
+  return wg0 ^ we0;
+}
+
+Block Garbler::classic(Block a0, Block b0, GarbledTable& table, bool grr3) {
+  const bool pa = a0.lsb();
+  const bool pb = b0.lsb();
+  const std::uint64_t j0 = tweak_++;
+  const std::uint64_t j1 = tweak_++;
+
+  const Block ha[2] = {hash_(a0, j0), hash_(a0 ^ r_, j0)};
+  const Block hb[2] = {hash_(b0, j1), hash_(b0 ^ r_, j1)};
+
+  Block w0;
+  if (grr3) {
+    // Row (sa,sb)=(0,0) is defined to decrypt to all-zero: the output label
+    // for value (pa & pb) equals H(a_pa) ^ H(b_pb).
+    const Block pad00 = ha[pa ? 1 : 0] ^ hb[pb ? 1 : 0];
+    const bool v00 = pa && pb;
+    w0 = pad00 ^ maybe(r_, v00);
+  } else {
+    w0 = fresh_label();
+  }
+
+  table.count = grr3 ? 3 : 4;
+  for (int va = 0; va < 2; ++va) {
+    for (int vb = 0; vb < 2; ++vb) {
+      const int sa = static_cast<int>(pa) ^ va;
+      const int sb = static_cast<int>(pb) ^ vb;
+      const int slot = (sa << 1) | sb;
+      const bool out_val = (va != 0) && (vb != 0);
+      const Block ct = ha[va] ^ hb[vb] ^ w0 ^ maybe(r_, out_val);
+      if (grr3) {
+        if (slot == 0) continue;  // implicit all-zero row
+        table.rows[static_cast<std::size_t>(slot - 1)] = ct;
+      } else {
+        table.rows[static_cast<std::size_t>(slot)] = ct;
+      }
+    }
+  }
+  return w0;
+}
+
+Block Evaluator::eval(Block a, Block b, const GarbledTable& table) {
+  Block w;
+  switch (scheme_) {
+    case Scheme::HalfGates: w = eval_half_gates(a, b, table); break;
+    case Scheme::Grr3: w = eval_classic(a, b, table, /*grr3=*/true); break;
+    case Scheme::Classic4: w = eval_classic(a, b, table, /*grr3=*/false); break;
+    default: throw std::logic_error("evaluator: unknown scheme");
+  }
+  ++gate_counter_;
+  return w;
+}
+
+Block Evaluator::eval_half_gates(Block a, Block b, const GarbledTable& table) {
+  const std::uint64_t j0 = tweak_++;
+  const std::uint64_t j1 = tweak_++;
+  const Block tg = table.rows[0];
+  const Block te = table.rows[1];
+  const Block wg = hash_(a, j0) ^ maybe(tg, a.lsb());
+  const Block we = hash_(b, j1) ^ maybe(te ^ a, b.lsb());
+  return wg ^ we;
+}
+
+Block Evaluator::eval_classic(Block a, Block b, const GarbledTable& table, bool grr3) {
+  const std::uint64_t j0 = tweak_++;
+  const std::uint64_t j1 = tweak_++;
+  const int slot = (static_cast<int>(a.lsb()) << 1) | static_cast<int>(b.lsb());
+  const Block pad = hash_(a, j0) ^ hash_(b, j1);
+  if (grr3) {
+    if (slot == 0) return pad;
+    return pad ^ table.rows[static_cast<std::size_t>(slot - 1)];
+  }
+  return pad ^ table.rows[static_cast<std::size_t>(slot)];
+}
+
+}  // namespace arm2gc::gc

@@ -1,0 +1,51 @@
+// Oblivious transfer endpoints for Bob's input labels.
+//
+// The protocol logic only needs the OT *functionality*: Bob obtains
+// X0 ^ b*R for his choice bit b without Alice learning b. We implement an
+// ideal-functionality endpoint that transfers the chosen label in-process and
+// accounts communication at the standard semi-honest OT-extension price
+// (IKNP'03: kappa = 128 bits from receiver to sender plus one label back;
+// amortized base OTs ignored). Real network OT is orthogonal to SkipGate —
+// the paper's tables never include OT traffic — but the cost is surfaced in
+// CommStats so end-to-end byte counts are honest.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/block.h"
+#include "gc/channel.h"
+
+namespace arm2gc::gc {
+
+/// Per-OT accounted bytes: a 128-bit extension column + a 128-bit ciphertext.
+inline constexpr std::uint64_t kOtBytesPerChoice = 32;
+
+/// Ideal 1-out-of-2 OT on labels (x0, x0^R). Alice side.
+class OtSender {
+ public:
+  explicit OtSender(Channel& ch) : ch_(&ch) {}
+
+  /// Offers the pair; the paired OtReceiver::receive must be called in the
+  /// same order. Transfers happen through the channel so byte accounting and
+  /// ordering match a real deployment.
+  void send(crypto::Block x0, crypto::Block x1, bool receiver_choice) {
+    ch_->account(Traffic::Ot, kOtBytesPerChoice - 16);
+    ch_->send(receiver_choice ? x1 : x0, Traffic::Ot);
+  }
+
+ private:
+  Channel* ch_;
+};
+
+/// Ideal 1-out-of-2 OT, Bob side.
+class OtReceiver {
+ public:
+  explicit OtReceiver(Channel& ch) : ch_(&ch) {}
+
+  crypto::Block receive() { return ch_->recv(); }
+
+ private:
+  Channel* ch_;
+};
+
+}  // namespace arm2gc::gc

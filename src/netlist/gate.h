@@ -1,0 +1,130 @@
+// Two-input Boolean gates represented by 4-bit truth tables, plus the
+// truth-table algebra SkipGate relies on (restriction by a public input,
+// restriction to the diagonal for identical/inverted secret inputs, and the
+// AND-core decomposition used by half-gates garbling).
+#pragma once
+
+#include <cstdint>
+
+namespace arm2gc::netlist {
+
+/// Truth table bit layout: output for inputs (a,b) lives at bit ((b<<1)|a).
+using TruthTable = std::uint8_t;
+
+inline constexpr TruthTable kTtZero = 0b0000;
+inline constexpr TruthTable kTtAnd = 0b1000;
+inline constexpr TruthTable kTtAndANotB = 0b0010;  // a & ~b
+inline constexpr TruthTable kTtA = 0b1010;
+inline constexpr TruthTable kTtNotAAndB = 0b0100;  // ~a & b
+inline constexpr TruthTable kTtB = 0b1100;
+inline constexpr TruthTable kTtXor = 0b0110;
+inline constexpr TruthTable kTtOr = 0b1110;
+inline constexpr TruthTable kTtNor = 0b0001;
+inline constexpr TruthTable kTtXnor = 0b1001;
+inline constexpr TruthTable kTtNotB = 0b0011;
+inline constexpr TruthTable kTtOrANotB = 0b1011;  // a | ~b
+inline constexpr TruthTable kTtNotA = 0b0101;
+inline constexpr TruthTable kTtOrNotAB = 0b1101;  // ~a | b
+inline constexpr TruthTable kTtNand = 0b0111;
+inline constexpr TruthTable kTtOne = 0b1111;
+
+constexpr bool tt_eval(TruthTable tt, bool a, bool b) {
+  const int idx = (static_cast<int>(b) << 1) | static_cast<int>(a);
+  return ((tt >> idx) & 1) != 0;
+}
+
+/// Truth table with input a negated: bit (b,a) <- bit (b, ~a).
+constexpr TruthTable tt_neg_a(TruthTable tt) {
+  return static_cast<TruthTable>(((tt & 0b0101) << 1) | ((tt & 0b1010) >> 1));
+}
+/// Truth table with input b negated: bit (b,a) <- bit (~b, a).
+constexpr TruthTable tt_neg_b(TruthTable tt) {
+  return static_cast<TruthTable>(((tt & 0b0011) << 2) | ((tt & 0b1100) >> 2));
+}
+/// Truth table with inputs swapped.
+constexpr TruthTable tt_swap(TruthTable tt) {
+  return static_cast<TruthTable>((tt & 0b1001) | ((tt & 0b0010) << 1) | ((tt & 0b0100) >> 1));
+}
+
+/// True iff the table ignores input a (depends only on b).
+constexpr bool tt_ignores_a(TruthTable tt) { return tt_neg_a(tt) == tt; }
+/// True iff the table ignores input b (depends only on a).
+constexpr bool tt_ignores_b(TruthTable tt) { return tt_neg_b(tt) == tt; }
+
+/// A gate is "free" under free-XOR iff its truth table is affine over GF(2):
+/// f(a,b) = c ^ d*a ^ e*b. Exactly the tables whose four entries XOR to 0 and
+/// that have no AND term; for 2 inputs this is the parity test below.
+constexpr bool tt_is_affine(TruthTable tt) {
+  const int f00 = (tt >> 0) & 1;
+  const int f10 = (tt >> 1) & 1;
+  const int f01 = (tt >> 2) & 1;
+  const int f11 = (tt >> 3) & 1;
+  return ((f00 ^ f10 ^ f01 ^ f11) & 1) == 0;
+}
+
+/// Unary function on one remaining input: output for v lives at bit v.
+/// 00=const0, 11=const1, 10=identity, 01=negation.
+using UnaryTable = std::uint8_t;
+
+inline constexpr UnaryTable kUnZero = 0b00;
+inline constexpr UnaryTable kUnId = 0b10;
+inline constexpr UnaryTable kUnNot = 0b01;
+inline constexpr UnaryTable kUnOne = 0b11;
+
+/// Restrict `tt` by fixing input a to the public value `va`; the result is a
+/// unary function of b. (SkipGate category ii.)
+constexpr UnaryTable tt_restrict_a(TruthTable tt, bool va) {
+  const int lo = (tt >> (0 | static_cast<int>(va))) & 1;         // b = 0
+  const int hi = (tt >> (2 | static_cast<int>(va))) & 1;         // b = 1
+  return static_cast<UnaryTable>((hi << 1) | lo);
+}
+
+/// Restrict `tt` by fixing input b to the public value `vb`; unary in a.
+constexpr UnaryTable tt_restrict_b(TruthTable tt, bool vb) {
+  const int base = static_cast<int>(vb) << 1;
+  const int lo = (tt >> (base | 0)) & 1;                          // a = 0
+  const int hi = (tt >> (base | 1)) & 1;                          // a = 1
+  return static_cast<UnaryTable>((hi << 1) | lo);
+}
+
+/// Restrict `tt` to the diagonal b = a ^ diff, for secret inputs that carry
+/// the same label up to inversion. (SkipGate category iii.)
+constexpr UnaryTable tt_restrict_diag(TruthTable tt, bool diff) {
+  const bool lo = tt_eval(tt, false, diff);        // a = 0
+  const bool hi = tt_eval(tt, true, !diff);        // a = 1, b = 1 ^ diff
+  return static_cast<UnaryTable>((static_cast<int>(hi) << 1) | static_cast<int>(lo));
+}
+
+constexpr bool unary_eval(UnaryTable u, bool v) { return ((u >> static_cast<int>(v)) & 1) != 0; }
+constexpr bool unary_is_const(UnaryTable u) { return u == kUnZero || u == kUnOne; }
+
+/// Decomposition of a non-affine table as gamma ^ ((a^alpha) & (b^beta)).
+/// Every non-affine 2-input function has exactly one such decomposition,
+/// which lets half-gates garble it at AND cost with polarity adjustments.
+struct AndCore {
+  bool alpha = false;
+  bool beta = false;
+  bool gamma = false;
+};
+
+constexpr AndCore tt_and_core(TruthTable tt) {
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int g = 0; g < 2; ++g) {
+        bool ok = true;
+        for (int va = 0; va < 2 && ok; ++va) {
+          for (int vb = 0; vb < 2 && ok; ++vb) {
+            const bool want = tt_eval(tt, va != 0, vb != 0);
+            const bool got = (g != 0) ^ (((va ^ a) & (vb ^ b)) != 0);
+            ok = want == got;
+          }
+        }
+        if (ok) return AndCore{a != 0, b != 0, g != 0};
+      }
+    }
+  }
+  // Unreachable for non-affine tables; affine tables must not be passed here.
+  return AndCore{};
+}
+
+}  // namespace arm2gc::netlist

@@ -1,0 +1,147 @@
+#include "netlist/io.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace arm2gc::netlist {
+
+namespace {
+
+const char* owner_name(Owner o) {
+  switch (o) {
+    case Owner::Public: return "public";
+    case Owner::Alice: return "alice";
+    case Owner::Bob: return "bob";
+  }
+  return "?";
+}
+
+Owner parse_owner(const std::string& s) {
+  if (s == "public") return Owner::Public;
+  if (s == "alice") return Owner::Alice;
+  if (s == "bob") return Owner::Bob;
+  throw std::runtime_error("netlist load: bad owner '" + s + "'");
+}
+
+const char* init_name(Dff::Init i) {
+  switch (i) {
+    case Dff::Init::Zero: return "zero";
+    case Dff::Init::One: return "one";
+    case Dff::Init::AliceBit: return "alice";
+    case Dff::Init::BobBit: return "bob";
+  }
+  return "?";
+}
+
+Dff::Init parse_init(const std::string& s) {
+  if (s == "zero") return Dff::Init::Zero;
+  if (s == "one") return Dff::Init::One;
+  if (s == "alice") return Dff::Init::AliceBit;
+  if (s == "bob") return Dff::Init::BobBit;
+  throw std::runtime_error("netlist load: bad dff init '" + s + "'");
+}
+
+}  // namespace
+
+void dump(const Netlist& nl, std::ostream& os) {
+  os << "arm2gc-netlist v1\n";
+  os << "outputs_every_cycle " << (nl.outputs_every_cycle ? 1 : 0) << "\n";
+  os << "inputs " << nl.inputs.size() << "\n";
+  for (const Input& in : nl.inputs) {
+    os << "  in " << owner_name(in.owner) << " " << (in.streamed ? 1 : 0) << " " << in.bit_index
+       << " " << (in.name.empty() ? "-" : in.name) << "\n";
+  }
+  os << "dffs " << nl.dffs.size() << "\n";
+  for (const Dff& d : nl.dffs) {
+    os << "  dff " << init_name(d.init) << " " << d.init_index << " " << d.d << " "
+       << (d.d_invert ? 1 : 0) << "\n";
+  }
+  os << "gates " << nl.gates.size() << "\n";
+  for (const Gate& g : nl.gates) {
+    os << "  g " << g.a << " " << g.b << " " << static_cast<int>(g.tt) << "\n";
+  }
+  os << "outputs " << nl.outputs.size() << "\n";
+  for (const OutputPort& o : nl.outputs) {
+    os << "  out " << o.wire << " " << (o.invert ? 1 : 0) << " "
+       << (o.name.empty() ? "-" : o.name) << "\n";
+  }
+}
+
+std::string dump_to_string(const Netlist& nl) {
+  std::ostringstream os;
+  dump(nl, os);
+  return os.str();
+}
+
+Netlist load(std::istream& is) {
+  Netlist nl;
+  std::string word;
+  std::string version;
+  is >> word >> version;
+  if (word != "arm2gc-netlist" || version != "v1") {
+    throw std::runtime_error("netlist load: bad header");
+  }
+  int flag = 0;
+  std::size_t n = 0;
+  is >> word >> flag;
+  if (word != "outputs_every_cycle") throw std::runtime_error("netlist load: bad flags line");
+  nl.outputs_every_cycle = flag != 0;
+
+  is >> word >> n;
+  if (word != "inputs") throw std::runtime_error("netlist load: expected inputs");
+  nl.inputs.resize(n);
+  for (Input& in : nl.inputs) {
+    std::string owner;
+    int streamed = 0;
+    is >> word >> owner >> streamed >> in.bit_index >> in.name;
+    if (word != "in") throw std::runtime_error("netlist load: expected in");
+    in.owner = parse_owner(owner);
+    in.streamed = streamed != 0;
+    if (in.name == "-") in.name.clear();
+  }
+
+  is >> word >> n;
+  if (word != "dffs") throw std::runtime_error("netlist load: expected dffs");
+  nl.dffs.resize(n);
+  for (Dff& d : nl.dffs) {
+    std::string init;
+    int inv = 0;
+    is >> word >> init >> d.init_index >> d.d >> inv;
+    if (word != "dff") throw std::runtime_error("netlist load: expected dff");
+    d.init = parse_init(init);
+    d.d_invert = inv != 0;
+  }
+
+  is >> word >> n;
+  if (word != "gates") throw std::runtime_error("netlist load: expected gates");
+  nl.gates.resize(n);
+  for (Gate& g : nl.gates) {
+    int tt = 0;
+    is >> word >> g.a >> g.b >> tt;
+    if (word != "g") throw std::runtime_error("netlist load: expected g");
+    if (tt < 0 || tt > 15) throw std::runtime_error("netlist load: bad truth table");
+    g.tt = static_cast<TruthTable>(tt);
+  }
+
+  is >> word >> n;
+  if (word != "outputs") throw std::runtime_error("netlist load: expected outputs");
+  nl.outputs.resize(n);
+  for (OutputPort& o : nl.outputs) {
+    int inv = 0;
+    is >> word >> o.wire >> inv >> o.name;
+    if (word != "out") throw std::runtime_error("netlist load: expected out");
+    o.invert = inv != 0;
+    if (o.name == "-") o.name.clear();
+  }
+  if (!is) throw std::runtime_error("netlist load: truncated input");
+  nl.validate();
+  return nl;
+}
+
+Netlist load_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+}  // namespace arm2gc::netlist

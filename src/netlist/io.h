@@ -1,0 +1,21 @@
+// Human-readable text serialization for netlists (in the spirit of Fairplay's
+// SHDL / TinyGarble's SCD formats). Useful for inspecting generated circuits
+// and for caching expensive netlists (the ARM core) across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace arm2gc::netlist {
+
+void dump(const Netlist& nl, std::ostream& os);
+[[nodiscard]] std::string dump_to_string(const Netlist& nl);
+
+/// Parses the format produced by dump(). Throws std::runtime_error on
+/// malformed input; the result is validate()d before returning.
+[[nodiscard]] Netlist load(std::istream& is);
+[[nodiscard]] Netlist load_from_string(const std::string& text);
+
+}  // namespace arm2gc::netlist

@@ -1,0 +1,64 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace arm2gc::netlist {
+
+std::size_t Netlist::count_non_free() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates.begin(), gates.end(),
+                    [](const Gate& g) { return !tt_is_affine(g.tt); }));
+}
+
+std::size_t Netlist::fixed_input_bits(Owner o) const {
+  std::size_t n = 0;
+  for (const Input& in : inputs) {
+    if (in.owner == o && !in.streamed) n = std::max<std::size_t>(n, in.bit_index + 1);
+  }
+  return n;
+}
+
+std::size_t Netlist::streamed_input_bits(Owner o) const {
+  std::size_t n = 0;
+  for (const Input& in : inputs) {
+    if (in.owner == o && in.streamed) n = std::max<std::size_t>(n, in.bit_index + 1);
+  }
+  return n;
+}
+
+std::size_t Netlist::dff_init_bits(Owner o) const {
+  std::size_t n = 0;
+  for (const Dff& d : dffs) {
+    if ((o == Owner::Alice && d.init == Dff::Init::AliceBit) ||
+        (o == Owner::Bob && d.init == Dff::Init::BobBit)) {
+      n = std::max<std::size_t>(n, d.init_index + 1);
+    }
+  }
+  return n;
+}
+
+void Netlist::validate() const {
+  const auto nw = static_cast<WireId>(num_wires());
+  const WireId first_gate = first_gate_wire();
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    const Gate& gate = gates[g];
+    const WireId self = gate_wire(g);
+    if (gate.a >= nw || gate.b >= nw) {
+      throw std::runtime_error("netlist: gate input wire out of range");
+    }
+    // Topological invariant: a combinational input must be produced earlier.
+    if ((gate.a >= first_gate && gate.a >= self) || (gate.b >= first_gate && gate.b >= self)) {
+      throw std::runtime_error("netlist: combinational loop at gate " + std::to_string(g));
+    }
+  }
+  for (const Dff& d : dffs) {
+    if (d.d >= nw) throw std::runtime_error("netlist: dff driver out of range");
+  }
+  for (const OutputPort& o : outputs) {
+    if (o.wire >= nw) throw std::runtime_error("netlist: output wire out of range");
+  }
+}
+
+}  // namespace arm2gc::netlist

@@ -1,0 +1,108 @@
+// Sequential gate-level netlist: the common representation produced by the
+// circuit builder / ARM netlist generator and consumed by the simulator and
+// the SkipGate garbling sessions.
+//
+// Wire id layout (fixed, so a wire id doubles as a topological timestamp):
+//   0                      const 0
+//   1                      const 1
+//   [2, 2+I)               primary inputs
+//   [2+I, 2+I+D)           flip-flop outputs
+//   [2+I+D, 2+I+D+G)       gate outputs, in topological order
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.h"
+
+namespace arm2gc::netlist {
+
+using WireId = std::uint32_t;
+
+/// Bit vector used for circuit inputs/outputs throughout the library.
+using BitVec = std::vector<bool>;
+
+inline constexpr WireId kConst0 = 0;
+inline constexpr WireId kConst1 = 1;
+inline constexpr WireId kFirstInputWire = 2;
+
+/// Who supplies a value: both parties (public), Alice, or Bob.
+enum class Owner : std::uint8_t { Public, Alice, Bob };
+
+/// A primary input bit. Streamed inputs receive a fresh bit every clock
+/// cycle (bit-serial circuits); fixed inputs are bound once at setup.
+struct Input {
+  Owner owner = Owner::Public;
+  bool streamed = false;
+  std::uint32_t bit_index = 0;  ///< index into the owner's (per-cycle) bit vector
+  std::string name;
+};
+
+/// A D flip-flop. `d` is assigned after construction (sequential feedback).
+/// The initial state is a constant or a bit of a party's private input —
+/// this is how the garbled processor loads inputs (paper §4.1).
+struct Dff {
+  enum class Init : std::uint8_t { Zero, One, AliceBit, BobBit };
+  WireId d = kConst0;
+  bool d_invert = false;
+  Init init = Init::Zero;
+  std::uint32_t init_index = 0;  ///< bit index for AliceBit/BobBit inits
+};
+
+/// A two-input gate; output = tt(a, b).
+struct Gate {
+  WireId a = kConst0;
+  WireId b = kConst0;
+  TruthTable tt = kTtZero;
+};
+
+struct OutputPort {
+  WireId wire = kConst0;
+  bool invert = false;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  std::vector<Input> inputs;
+  std::vector<Dff> dffs;
+  std::vector<Gate> gates;
+  std::vector<OutputPort> outputs;
+
+  /// If true, outputs are sampled every clock cycle (bit-serial circuits);
+  /// otherwise only the final cycle's outputs are decoded. This matters to
+  /// SkipGate: per-cycle sampling pins output-cone gates every cycle.
+  bool outputs_every_cycle = false;
+
+  [[nodiscard]] std::size_t num_wires() const {
+    return 2 + inputs.size() + dffs.size() + gates.size();
+  }
+  [[nodiscard]] WireId input_wire(std::size_t i) const {
+    return static_cast<WireId>(kFirstInputWire + i);
+  }
+  [[nodiscard]] WireId dff_wire(std::size_t i) const {
+    return static_cast<WireId>(kFirstInputWire + inputs.size() + i);
+  }
+  [[nodiscard]] WireId gate_wire(std::size_t g) const {
+    return static_cast<WireId>(kFirstInputWire + inputs.size() + dffs.size() + g);
+  }
+  [[nodiscard]] WireId first_gate_wire() const { return gate_wire(0); }
+
+  /// Gates whose truth table is non-affine: with free-XOR these are exactly
+  /// the gates that cost garbled-table communication. The paper's headline
+  /// metric counts these.
+  [[nodiscard]] std::size_t count_non_free() const;
+
+  /// Number of Alice/Bob fixed-input bits (for sizing input vectors).
+  [[nodiscard]] std::size_t fixed_input_bits(Owner o) const;
+  [[nodiscard]] std::size_t streamed_input_bits(Owner o) const;
+  /// Highest init_index + 1 over DFFs initialized from the given party.
+  [[nodiscard]] std::size_t dff_init_bits(Owner o) const;
+
+  /// Checks the structural invariants (topological order, wire ids in range,
+  /// DFF drivers assigned). Throws std::runtime_error on violation.
+  void validate() const;
+};
+
+}  // namespace arm2gc::netlist

@@ -1,0 +1,60 @@
+#include "netlist/opt.h"
+
+#include <vector>
+
+namespace arm2gc::netlist {
+
+SweepStats sweep_dead_gates(Netlist& nl) {
+  SweepStats stats;
+  stats.gates_before = nl.gates.size();
+  stats.non_free_before = nl.count_non_free();
+
+  const WireId first_gate = nl.first_gate_wire();
+  std::vector<std::uint8_t> live(nl.gates.size(), 0);
+  // Iterative backward reachability; recursion would overflow on deep chains.
+  std::vector<WireId> work;
+  auto push = [&](WireId w) {
+    if (w < first_gate) return;
+    const std::size_t g = w - first_gate;
+    if (!live[g]) {
+      live[g] = 1;
+      work.push_back(w);
+    }
+  };
+  for (const OutputPort& o : nl.outputs) push(o.wire);
+  for (const Dff& d : nl.dffs) push(d.d);
+  while (!work.empty()) {
+    const WireId w = work.back();
+    work.pop_back();
+    const Gate& g = nl.gates[w - first_gate];
+    push(g.a);
+    push(g.b);
+  }
+
+  // Compact surviving gates; wire ids below first_gate are unchanged.
+  std::vector<WireId> remap(nl.gates.size(), kConst0);
+  std::vector<Gate> kept;
+  kept.reserve(nl.gates.size());
+  for (std::size_t g = 0; g < nl.gates.size(); ++g) {
+    if (!live[g]) continue;
+    Gate gate = nl.gates[g];
+    if (gate.a >= first_gate) gate.a = remap[gate.a - first_gate];
+    if (gate.b >= first_gate) gate.b = remap[gate.b - first_gate];
+    remap[g] = static_cast<WireId>(first_gate + kept.size());
+    kept.push_back(gate);
+  }
+  for (Dff& d : nl.dffs) {
+    if (d.d >= first_gate) d.d = remap[d.d - first_gate];
+  }
+  for (OutputPort& o : nl.outputs) {
+    if (o.wire >= first_gate) o.wire = remap[o.wire - first_gate];
+  }
+  nl.gates = std::move(kept);
+
+  stats.gates_after = nl.gates.size();
+  stats.non_free_after = nl.count_non_free();
+  nl.validate();
+  return stats;
+}
+
+}  // namespace arm2gc::netlist

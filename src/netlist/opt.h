@@ -1,0 +1,25 @@
+// Netlist-level cleanup passes. The builder already folds constants and
+// shares structure during construction; this pass removes gates that cannot
+// reach any output or flip-flop (dead logic), which keeps the per-cycle
+// SkipGate planner from touching them at all.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.h"
+
+namespace arm2gc::netlist {
+
+struct SweepStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t non_free_before = 0;
+  std::size_t non_free_after = 0;
+};
+
+/// Removes gates unreachable (backwards) from outputs and DFF D-inputs and
+/// compacts wire ids. Inputs and DFFs are never removed (their count defines
+/// the interface and state layout).
+SweepStats sweep_dead_gates(Netlist& nl);
+
+}  // namespace arm2gc::netlist

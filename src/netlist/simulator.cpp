@@ -1,0 +1,95 @@
+#include "netlist/simulator.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace arm2gc::netlist {
+
+namespace {
+std::vector<std::uint8_t> copy_bits(const BitVec& bits) {
+  std::vector<std::uint8_t> v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) v[i] = bits[i] ? 1 : 0;
+  return v;
+}
+
+std::uint8_t bit_at(const std::vector<std::uint8_t>& v, std::size_t i, const char* what) {
+  if (i >= v.size()) throw std::out_of_range(std::string("simulator: missing ") + what);
+  return v[i];
+}
+
+std::uint8_t stream_bit(const BitVec& v, std::size_t i, const char* what) {
+  if (i >= v.size()) throw std::out_of_range(std::string("simulator: missing ") + what);
+  return v[i] ? 1 : 0;
+}
+}  // namespace
+
+Simulator::Simulator(const Netlist& nl) : nl_(nl), vals_(nl.num_wires(), 0) {
+  nl_.validate();
+}
+
+void Simulator::reset(const BitVec& alice, const BitVec& bob, const BitVec& pub) {
+  alice_bits_ = copy_bits(alice);
+  bob_bits_ = copy_bits(bob);
+  pub_bits_ = copy_bits(pub);
+  cycle_ = 0;
+  dff_state_.assign(nl_.dffs.size(), 0);
+  for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
+    const Dff& d = nl_.dffs[i];
+    switch (d.init) {
+      case Dff::Init::Zero: dff_state_[i] = 0; break;
+      case Dff::Init::One: dff_state_[i] = 1; break;
+      case Dff::Init::AliceBit:
+        dff_state_[i] = bit_at(alice_bits_, d.init_index, "Alice dff init bit");
+        break;
+      case Dff::Init::BobBit:
+        dff_state_[i] = bit_at(bob_bits_, d.init_index, "Bob dff init bit");
+        break;
+    }
+  }
+}
+
+void Simulator::step(const BitVec& alice_stream, const BitVec& bob_stream,
+                     const BitVec& pub_stream) {
+  vals_[kConst0] = 0;
+  vals_[kConst1] = 1;
+  for (std::size_t i = 0; i < nl_.inputs.size(); ++i) {
+    const Input& in = nl_.inputs[i];
+    std::uint8_t v = 0;
+    if (in.streamed) {
+      switch (in.owner) {
+        case Owner::Alice: v = stream_bit(alice_stream, in.bit_index, "Alice stream bit"); break;
+        case Owner::Bob: v = stream_bit(bob_stream, in.bit_index, "Bob stream bit"); break;
+        case Owner::Public: v = stream_bit(pub_stream, in.bit_index, "public stream bit"); break;
+      }
+    } else {
+      switch (in.owner) {
+        case Owner::Alice: v = bit_at(alice_bits_, in.bit_index, "Alice input bit"); break;
+        case Owner::Bob: v = bit_at(bob_bits_, in.bit_index, "Bob input bit"); break;
+        case Owner::Public: v = bit_at(pub_bits_, in.bit_index, "public input bit"); break;
+      }
+    }
+    vals_[nl_.input_wire(i)] = v;
+  }
+  for (std::size_t i = 0; i < nl_.dffs.size(); ++i) vals_[nl_.dff_wire(i)] = dff_state_[i];
+
+  const WireId first_gate = nl_.first_gate_wire();
+  for (std::size_t g = 0; g < nl_.gates.size(); ++g) {
+    const Gate& gate = nl_.gates[g];
+    vals_[first_gate + g] =
+        tt_eval(gate.tt, vals_[gate.a] != 0, vals_[gate.b] != 0) ? 1 : 0;
+  }
+  for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
+    const Dff& d = nl_.dffs[i];
+    dff_state_[i] = static_cast<std::uint8_t>((vals_[d.d] != 0) ^ d.d_invert);
+  }
+  ++cycle_;
+}
+
+BitVec Simulator::read_outputs() const {
+  BitVec out;
+  out.reserve(nl_.outputs.size());
+  for (const OutputPort& o : nl_.outputs) out.push_back((vals_[o.wire] != 0) ^ o.invert);
+  return out;
+}
+
+}  // namespace arm2gc::netlist

@@ -1,0 +1,49 @@
+// Plain (cleartext) Boolean simulator for sequential netlists. This is the
+// functional reference: the garbled protocol must produce exactly these
+// outputs, and the ARM netlist is validated against the instruction-set
+// simulator through it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace arm2gc::netlist {
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& nl);
+
+  /// Binds the parties' input bit vectors (fixed inputs and DFF initial
+  /// values index into these) and resets flip-flop state. Vectors are copied.
+  void reset(const BitVec& alice = {}, const BitVec& bob = {}, const BitVec& pub = {});
+
+  /// Advances one clock cycle. Streamed inputs (if any) read the given
+  /// per-cycle vectors, indexed by Input::bit_index.
+  void step(const BitVec& alice_stream = {}, const BitVec& bob_stream = {},
+            const BitVec& pub_stream = {});
+
+  /// Value of a wire as of the last step().
+  [[nodiscard]] bool wire(WireId w) const { return vals_[w] != 0; }
+
+  /// Current output port values (after at least one step).
+  [[nodiscard]] BitVec read_outputs() const;
+
+  /// Current flip-flop state (next-cycle outputs), mainly for lock-step tests.
+  [[nodiscard]] bool dff_state(std::size_t i) const { return dff_state_[i] != 0; }
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] const Netlist& netlist() const { return nl_; }
+
+ private:
+  const Netlist& nl_;
+  std::vector<std::uint8_t> vals_;
+  std::vector<std::uint8_t> dff_state_;
+  std::vector<std::uint8_t> alice_bits_;
+  std::vector<std::uint8_t> bob_bits_;
+  std::vector<std::uint8_t> pub_bits_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace arm2gc::netlist

@@ -1,0 +1,443 @@
+#include "programs/programs.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace arm2gc::programs {
+
+namespace {
+
+using arm::MemoryConfig;
+
+std::size_t pow2_at_least(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+Program finish(std::string name, std::string source, MemoryConfig cfg) {
+  Program p;
+  p.name = std::move(name);
+  p.source = std::move(source);
+  p.words = arm::assemble(p.source);
+  cfg.imem_words = pow2_at_least(std::max<std::size_t>(p.words.size(), 16));
+  p.cfg = cfg;
+  return p;
+}
+
+MemoryConfig io_cfg(std::size_t alice_w, std::size_t bob_w, std::size_t out_w,
+                    std::size_t ram_w = 16) {
+  MemoryConfig cfg;
+  cfg.alice_words = pow2_at_least(std::max<std::size_t>(alice_w, 1));
+  cfg.bob_words = pow2_at_least(std::max<std::size_t>(bob_w, 1));
+  cfg.out_words = pow2_at_least(std::max<std::size_t>(out_w, 1));
+  cfg.ram_words = pow2_at_least(std::max<std::size_t>(ram_w, 16));
+  return cfg;
+}
+
+/// Copies combined[i] = alice[i] ^ bob[i] into RAM at 0x40000 (clobbers
+/// r0/r1 as running pointers; all control is public).
+void emit_gather_shares(std::ostringstream& s, std::size_t n) {
+  s << "ldr r5, =0x40000\n"
+    << "mov r4, #0\n"
+    << "Lcopy:\n"
+    << "ldr r6, [r0]\n"
+    << "ldr r7, [r1]\n"
+    << "eor r6, r6, r7\n"
+    << "str r6, [r5]\n"
+    << "add r0, r0, #4\n"
+    << "add r1, r1, #4\n"
+    << "add r5, r5, #4\n"
+    << "add r4, r4, #1\n"
+    << "cmp r4, #" << n << "\n"
+    << "bne Lcopy\n";
+}
+
+/// Copies n words from the address in r8 to the output memory.
+void emit_copy_out_from_r8(std::ostringstream& s, std::size_t n, const char* label) {
+  s << "mov r4, #0\n"
+    << label << ":\n"
+    << "ldr r6, [r8]\n"
+    << "str r6, [r2]\n"
+    << "add r8, r8, #4\n"
+    << "add r2, r2, #4\n"
+    << "add r4, r4, #1\n"
+    << "cmp r4, #" << n << "\n"
+    << "bne " << label << "\n";
+}
+
+}  // namespace
+
+Program sum(std::size_t nwords) {
+  std::ostringstream s;
+  s << "; multi-word addition: out = a + b (" << nwords << " words)\n";
+  for (std::size_t w = 0; w < nwords; ++w) {
+    s << "ldr r4, [r0, #" << 4 * w << "]\n";
+    s << "ldr r5, [r1, #" << 4 * w << "]\n";
+    const bool last = w + 1 == nwords;
+    // First word: ADDS starts the carry chain; the last word needs no flags.
+    const char* op = w == 0 ? (last ? "add" : "adds") : (last ? "adc" : "adcs");
+    s << op << " r6, r4, r5\n";
+    s << "str r6, [r2, #" << 4 * w << "]\n";
+  }
+  s << "swi 0\n";
+  return finish("Sum " + std::to_string(32 * nwords), s.str(), io_cfg(nwords, nwords, nwords));
+}
+
+Program compare(std::size_t nwords) {
+  std::ostringstream s;
+  s << "; unsigned multi-word compare: out[0] = (a < b)\n";
+  for (std::size_t w = 0; w < nwords; ++w) {
+    s << "ldr r4, [r0, #" << 4 * w << "]\n";
+    s << "ldr r5, [r1, #" << 4 * w << "]\n";
+    s << (w == 0 ? "subs" : "sbcs") << " r6, r4, r5\n";
+  }
+  // a < b  <=>  final borrow (C clear). SBC of a register with itself
+  // materializes ~C as a full-width mask at zero garbling cost (the adder
+  // degenerates to category-iii gates).
+  s << "sbc r6, r6, r6\n"
+    << "and r6, r6, #1\n"
+    << "str r6, [r2]\n"
+    << "swi 0\n";
+  return finish("Compare " + std::to_string(32 * nwords), s.str(), io_cfg(nwords, nwords, 1));
+}
+
+Program hamming(std::size_t nwords) {
+  std::ostringstream s;
+  s << "; Hamming distance via SWAR popcount (masked adds)\n"
+    << "ldr r10, =0x55555555\n"
+    << "ldr r11, =0x33333333\n"
+    << "ldr r12, =0x0F0F0F0F\n"
+    << "ldr r9, =0x00FF00FF\n"
+    << "mov r8, #0\n";  // accumulator
+  for (std::size_t w = 0; w < nwords; ++w) {
+    s << "ldr r4, [r0, #" << 4 * w << "]\n"
+      << "ldr r5, [r1, #" << 4 * w << "]\n"
+      << "eor r4, r4, r5\n"
+      // Mask-first adds: the masked positions are public zeros, so each add
+      // garbles only the live field bits (SkipGate category ii).
+      << "and r5, r4, r10\n"
+      << "and r4, r10, r4, lsr #1\n"
+      << "add r4, r4, r5\n"
+      << "and r5, r4, r11\n"
+      << "and r4, r11, r4, lsr #2\n"
+      << "add r4, r4, r5\n"
+      << "and r5, r4, r12\n"
+      << "and r4, r12, r4, lsr #4\n"
+      << "add r4, r4, r5\n"
+      << "and r5, r4, r9\n"
+      << "and r4, r9, r4, lsr #8\n"
+      << "add r4, r4, r5\n"
+      << "add r4, r4, r4, lsr #16\n"
+      << "and r4, r4, #63\n"
+      << "add r8, r8, r4\n";
+  }
+  s << "str r8, [r2]\n"
+    << "swi 0\n"
+    << ".ltorg\n";
+  return finish("Hamming " + std::to_string(32 * nwords), s.str(), io_cfg(nwords, nwords, 1));
+}
+
+Program mult32() {
+  const std::string s =
+      "ldr r4, [r0]\n"
+      "ldr r5, [r1]\n"
+      "mul r6, r4, r5\n"
+      "str r6, [r2]\n"
+      "swi 0\n";
+  return finish("Mult 32", s, io_cfg(1, 1, 1));
+}
+
+Program matmult(std::size_t n) {
+  std::ostringstream s;
+  const std::size_t row_bytes = 4 * n;
+  s << "; C = A x B, " << n << "x" << n << " 32-bit, sequential MACs\n"
+    << "mov r10, r0\n"   // A row base
+    << "mov r3, r2\n"    // out pointer
+    << "mov r4, #0\n"    // i
+    << "Li:\n"
+    << "mov r5, #0\n"    // j
+    << "Lj:\n"
+    << "mov r8, r10\n"   // pa
+    << "add r9, r1, r5, lsl #2\n"  // pb = B + 4*j
+    << "mov r7, #0\n"    // acc
+    << "mov r6, #0\n"    // k
+    << "Lk:\n"
+    << "ldr r11, [r8]\n"
+    << "ldr r12, [r9]\n"
+    << "mla r7, r11, r12, r7\n"
+    << "add r8, r8, #4\n"
+    << "add r9, r9, #" << row_bytes << "\n"
+    << "add r6, r6, #1\n"
+    << "cmp r6, #" << n << "\n"
+    << "bne Lk\n"
+    << "str r7, [r3]\n"
+    << "add r3, r3, #4\n"
+    << "add r5, r5, #1\n"
+    << "cmp r5, #" << n << "\n"
+    << "bne Lj\n"
+    << "add r10, r10, #" << row_bytes << "\n"
+    << "add r4, r4, #1\n"
+    << "cmp r4, #" << n << "\n"
+    << "bne Li\n"
+    << "swi 0\n";
+  return finish("MatrixMult" + std::to_string(n) + "x" + std::to_string(n) + " 32", s.str(),
+                io_cfg(n * n, n * n, n * n));
+}
+
+Program bubble_sort(std::size_t n) {
+  std::ostringstream s;
+  s << "; bubble sort of " << n << " XOR-shared words (ascending)\n";
+  emit_gather_shares(s, n);
+  s << "mov r4, #" << (n - 1) << "\n"  // comparisons this pass
+    << "Louter:\n"
+    << "ldr r8, =0x40000\n"
+    << "mov r5, #0\n"
+    << "Linner:\n"
+    << "ldr r6, [r8]\n"
+    << "ldr r7, [r8, #4]\n"
+    // Swap when the right element is smaller: predicated stores, no branch
+    // (the paper's conditional-execution pattern, §4.2).
+    << "cmp r7, r6\n"
+    << "strlo r7, [r8]\n"
+    << "strlo r6, [r8, #4]\n"
+    << "add r8, r8, #4\n"
+    << "add r5, r5, #1\n"
+    << "cmp r5, r4\n"
+    << "bne Linner\n"
+    << "subs r4, r4, #1\n"
+    << "bne Louter\n"
+    << "ldr r8, =0x40000\n";
+  emit_copy_out_from_r8(s, n, "Lout");
+  s << "swi 0\n"
+    << ".ltorg\n";
+  return finish("Bubble-Sort" + std::to_string(n) + " 32", s.str(), io_cfg(n, n, n, 2 * n));
+}
+
+Program merge_sort(std::size_t n) {
+  // Bottom-up merge sort over two RAM buffers (src at +0, dst at +4n),
+  // ping-ponging each pass. The merge is oblivious: every block runs exactly
+  // 2w steps; the read pointers i/j are *byte offsets* advanced by predicated
+  // masks and re-masked with AND #imm each step so their secrecy never
+  // reaches the address region bits (which would make the whole memory scan
+  // — or worse, the fetch — secret).
+  if (n < 2 || (n & (n - 1)) != 0) throw std::invalid_argument("merge_sort: n must be 2^k");
+  const std::size_t total_bytes = 4 * n;
+  const std::size_t off_mask = 2 * total_bytes - 1;  // covers both buffers
+  std::ostringstream s;
+  s << "; bottom-up merge sort of " << n << " XOR-shared words\n";
+  emit_gather_shares(s, n);
+  s << "ldr r0, =0x40000\n"                       // src buffer (r0/r1 reused)
+    << "ldr r1, =" << (0x40000 + total_bytes) << "\n"  // dst buffer
+    << "mov r3, #4\n"                             // run width in bytes
+    << "Lpass:\n"
+    << "mov r4, #0\n"                             // block start offset (public)
+    << "mov r9, r1\n"                             // dst pointer (public)
+    << "Lblock:\n"
+    << "mov r5, r4\n"                             // i offset (becomes secret)
+    << "add r6, r4, r3\n"                         // j offset
+    << "add r7, r4, r3\n"                         // endi
+    << "add r8, r7, r3\n"                         // endj
+    << "Lstep:\n"
+    << "add lr, r0, r5\n"
+    << "ldr r10, [lr]\n"                          // src[i] (secret index)
+    << "add lr, r0, r6\n"
+    << "ldr r11, [lr]\n"                          // src[j]
+    // take_i = (i < endi) && !((j < endj) && (src[j] < src[i])); the SBC
+    // self-subtractions materialize the comparison masks for free.
+    << "cmp r11, r10\n"
+    << "sbc r12, r12, r12\n"                      // src[j] < src[i]
+    << "cmp r6, r8\n"
+    << "sbc lr, lr, lr\n"                         // j < endj
+    << "and r12, r12, lr\n"
+    << "cmp r5, r7\n"
+    << "sbc lr, lr, lr\n"                         // i < endi
+    << "bic r12, lr, r12\n"                       // take_i mask
+    // value select + store (dst pointer is public).
+    << "eor lr, r10, r11\n"
+    << "and lr, lr, r12\n"
+    << "eor lr, r11, lr\n"
+    << "str lr, [r9]\n"
+    << "add r9, r9, #4\n"
+    // advance i by 4 if taken else j by 4; re-mask offsets to keep the
+    // secret bits bounded below the region field.
+    << "and lr, r12, #4\n"
+    << "add r5, r5, lr\n"
+    << "and r5, r5, #" << off_mask << "\n"
+    << "eor lr, lr, #4\n"
+    << "add r6, r6, lr\n"
+    << "and r6, r6, #" << off_mask << "\n"
+    // block/pass bookkeeping (public).
+    << "add lr, r4, r3, lsl #1\n"                 // block end offset
+    << "sub r12, r9, r1\n"                        // produced bytes
+    << "cmp r12, lr\n"
+    << "bne Lstep\n"
+    << "mov r4, lr\n"                             // next block start
+    << "cmp r4, #" << total_bytes << "\n"
+    << "bne Lblock\n"
+    // swap buffers, double the width.
+    << "mov lr, r0\n"
+    << "mov r0, r1\n"
+    << "mov r1, lr\n"
+    << "mov r3, r3, lsl #1\n"
+    << "cmp r3, #" << total_bytes << "\n"
+    << "bne Lpass\n"
+    << "mov r8, r0\n";  // final pass output lives in the current src
+  emit_copy_out_from_r8(s, n, "Lout");
+  s << "swi 0\n"
+    << ".ltorg\n";
+  return finish("Merge-Sort" + std::to_string(n) + " 32", s.str(), io_cfg(n, n, n, 2 * n));
+}
+
+Program dijkstra8() {
+  constexpr std::size_t kN = 8;
+  constexpr std::uint32_t kRam = 0x40000;       // dist[8]
+  constexpr std::uint32_t kAdj = kRam + 4 * 8;  // adj[64] row-major
+  std::ostringstream p;
+  p << "; Dijkstra, complete 8-node digraph, 64 XOR-shared weights\n"
+    << "ldr r5, =" << kRam << "\n"
+    << "mov r6, #0\n"
+    << "str r6, [r5]\n"
+    << "ldr r7, =0x0FF00000\n";  // INF
+  for (std::size_t j = 1; j < kN; ++j) p << "str r7, [r5, #" << 4 * j << "]\n";
+  p << "ldr r5, =" << kAdj << "\n"
+    << "mov r4, #0\n"
+    << "Lgather:\n"
+    << "ldr r6, [r0]\n"
+    << "ldr r7, [r1]\n"
+    << "eor r6, r6, r7\n"
+    << "str r6, [r5]\n"
+    << "add r0, r0, #4\n"
+    << "add r1, r1, #4\n"
+    << "add r5, r5, #4\n"
+    << "add r4, r4, #1\n"
+    << "cmp r4, #64\n"
+    << "bne Lgather\n"
+    << "mov r11, #0\n"   // visited mask (secret after round 1)
+    << "mov r10, #0\n"   // iteration counter (public)
+    << "Liter:\n"
+    << "ldr r7, =0x0FF00004\n"   // bestd sentinel (> INF)
+    << "mov r8, #0\n"            // bestu
+    << "mov r5, #0\n"            // candidate j (public)
+    << "ldr r3, =" << kRam << "\n"
+    << "Lmin:\n"
+    << "ldr r6, [r3]\n"          // dist[j] (public address)
+    // unvisited = ~(visited >> j) & 1; shift amount j is public -> free.
+    << "mvn r12, r11\n"
+    << "mov r12, r12, lsr r5\n"
+    << "and r12, r12, #1\n"
+    << "rsb r12, r12, #0\n"      // unvisited mask
+    << "cmp r6, r7\n"
+    << "sbc lr, lr, lr\n"        // dist[j] < bestd
+    << "and r12, r12, lr\n"      // update mask
+    << "eor lr, r6, r7\n"
+    << "and lr, lr, r12\n"
+    << "eor r7, r7, lr\n"        // bestd
+    << "eor lr, r5, r8\n"
+    << "and lr, lr, r12\n"
+    << "eor r8, r8, lr\n"        // bestu
+    << "add r3, r3, #4\n"
+    << "add r5, r5, #1\n"
+    << "cmp r5, #8\n"
+    << "bne Lmin\n"
+    // visited |= 1 << bestu (secret shift amount).
+    << "mov r12, #1\n"
+    << "orr r11, r11, r12, lsl r8\n"
+    // relax: nd = bestd + adj[bestu][j]; dist[j] = min(dist[j], nd).
+    << "ldr r4, =" << kAdj << "\n"
+    << "add r4, r4, r8, lsl #5\n"  // secret row base (contained in low bits)
+    << "ldr r3, =" << kRam << "\n"
+    << "mov r5, #0\n"
+    << "Lrelax:\n"
+    << "ldr r6, [r4]\n"            // w (secret row, public column)
+    << "add r6, r6, r7\n"          // nd
+    << "ldr r9, [r3]\n"            // dist[j]
+    << "cmp r6, r9\n"
+    << "strlo r6, [r3]\n"
+    << "add r4, r4, #4\n"
+    << "add r3, r3, #4\n"
+    << "add r5, r5, #1\n"
+    << "cmp r5, #8\n"
+    << "bne Lrelax\n"
+    << "add r10, r10, #1\n"
+    << "cmp r10, #8\n"
+    << "bne Liter\n"
+    << "ldr r8, =" << kRam << "\n";
+  emit_copy_out_from_r8(p, kN, "Lout");
+  p << "swi 0\n"
+    << ".ltorg\n";
+  return finish("Dijkstra64 32", p.str(), io_cfg(64, 64, 8, 128));
+}
+
+namespace {
+std::int32_t atan_table_entry(int i) {
+  return static_cast<std::int32_t>(std::lround(std::atan(std::ldexp(1.0, -i)) * (1 << 30)));
+}
+}  // namespace
+
+void cordic_reference(std::int32_t& x, std::int32_t& y, std::int32_t z) {
+  for (int i = 0; i < 32; ++i) {
+    const std::int32_t xs = x >> i;
+    const std::int32_t ys = y >> i;
+    const std::int32_t a = atan_table_entry(i);
+    if (z >= 0) {
+      const std::int32_t nx = x - ys;
+      y = y + xs;
+      x = nx;
+      z = z - a;
+    } else {
+      const std::int32_t nx = x + ys;
+      y = y - xs;
+      x = nx;
+      z = z + a;
+    }
+  }
+}
+
+Program cordic32() {
+  std::ostringstream s;
+  s << "; CORDIC rotation mode, 32 iterations, 2.30 fixed point\n"
+    << "ldr r4, [r0]\n"
+    << "ldr r5, [r1]\n"
+    << "eor r4, r4, r5\n"   // x
+    << "ldr r5, [r0, #4]\n"
+    << "ldr r6, [r1, #4]\n"
+    << "eor r5, r5, r6\n"   // y
+    << "ldr r6, [r0, #8]\n"
+    << "ldr r7, [r1, #8]\n"
+    << "eor r6, r6, r7\n"   // z (angle)
+    << "ldr r8, =Atan\n"    // table pointer (public, in instruction memory)
+    << "mov r7, #0\n"       // i (public)
+    << "Liter:\n"
+    << "ldr r9, [r8]\n"          // atan[i] (public)
+    << "mov r10, r4, asr r7\n"   // x >> i (public shift amount)
+    << "mov r11, r5, asr r7\n"   // y >> i
+    << "mov r12, r6, asr #31\n"  // m = z < 0 ? -1 : 0 (free)
+    << "mvn r3, r12\n"           // ~m
+    << "eor r11, r11, r3\n"      // (y>>i) ^ ~m
+    << "eor r10, r10, r12\n"     // (x>>i) ^ m
+    << "eor r9, r9, r3\n"        // atan ^ ~m
+    // Carry tricks: ADDS of a register with itself exposes its sign bit as C
+    // at zero cost (category-iii adder), turning conditional add/subtract
+    // into a single ADC each.
+    << "adds r3, r3, r3\n"       // C = (z >= 0)
+    << "adc r4, r4, r11\n"       // x' = x -/+ (y>>i)
+    << "adc r6, r6, r9\n"        // z' = z -/+ atan
+    << "adds r12, r12, r12\n"    // C = (z < 0)
+    << "adc r5, r5, r10\n"       // y' = y +/- (x>>i)
+    << "add r8, r8, #4\n"
+    << "add r7, r7, #1\n"
+    << "cmp r7, #32\n"
+    << "bne Liter\n"
+    << "str r4, [r2]\n"
+    << "str r5, [r2, #4]\n"
+    << "swi 0\n"
+    << "Atan:\n";
+  for (int i = 0; i < 32; ++i) {
+    s << ".word " << static_cast<std::uint32_t>(atan_table_entry(i)) << "\n";
+  }
+  s << ".ltorg\n";
+  return finish("CORDIC 32", s.str(), io_cfg(3, 3, 2));
+}
+
+}  // namespace arm2gc::programs

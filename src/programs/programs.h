@@ -1,0 +1,62 @@
+// Benchmark functions compiled to ARM assembly (the workloads of paper
+// Tables 2-5). Each generator returns the source, the assembled binary and a
+// memory configuration sized for the instance.
+//
+// These are hand-scheduled the way arm-gcc -Os compiles the corresponding C:
+// conditional instructions instead of data-dependent branches (paper §4.2),
+// public loop bounds, and mask/carry idioms (SBC, conditional stores) for
+// data-dependent selection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arm/assembler.h"
+#include "arm/isa.h"
+
+namespace arm2gc::programs {
+
+struct Program {
+  std::string name;
+  std::string source;
+  std::vector<std::uint32_t> words;  ///< assembled binary
+  arm::MemoryConfig cfg;
+};
+
+/// out[0..n-1] = a + b over n-word little-endian integers (ADDS/ADCS chain).
+Program sum(std::size_t nwords);
+
+/// out[0] = (a < b) over n-word unsigned little-endian integers.
+Program compare(std::size_t nwords);
+
+/// out[0] = Hamming distance of two n-word bit vectors (SWAR popcount with
+/// public masks; SkipGate prunes the masked adder positions).
+Program hamming(std::size_t nwords);
+
+/// out[0] = a[0] * b[0] (lower 32 bits).
+Program mult32();
+
+/// out = A x B for n x n 32-bit matrices (A from Alice, B from Bob).
+Program matmult(std::size_t n);
+
+/// Sorts n XOR-shared 32-bit values (value[i] = alice[i] ^ bob[i]) with
+/// bubble sort; conditional stores do the compare-and-swap.
+Program bubble_sort(std::size_t n);
+
+/// Same interface, bottom-up merge sort: data-dependent (secret) read
+/// pointers exercise oblivious memory scans.
+Program merge_sort(std::size_t n);
+
+/// Single-source shortest paths on a complete 8-node digraph (64 XOR-shared
+/// edge weights, row-major adj[u][v]); out[0..7] = dist from node 0.
+Program dijkstra8();
+
+/// 32-iteration circular-rotation CORDIC on 2.30 fixed point:
+/// inputs (x, y, z=angle) XOR-shared in words 0..2; out = rotated (x, y).
+Program cordic32();
+
+/// Reference fixed-point CORDIC (identical integer ops) for validation.
+void cordic_reference(std::int32_t& x, std::int32_t& y, std::int32_t z);
+
+}  // namespace arm2gc::programs

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "arm/assembler.h"
+#include "arm/cpu_sim.h"
+#include "arm/isa.h"
+
+namespace {
+
+using namespace arm2gc::arm;
+
+TEST(Imm12, EncodesRotatedImmediates) {
+  EXPECT_TRUE(encode_imm12(0).has_value());
+  EXPECT_TRUE(encode_imm12(255).has_value());
+  EXPECT_TRUE(encode_imm12(0xFF000000u).has_value());
+  EXPECT_TRUE(encode_imm12(0x3FC).has_value());
+  EXPECT_FALSE(encode_imm12(0x101).has_value());
+  EXPECT_FALSE(encode_imm12(0x12345678).has_value());
+}
+
+std::uint32_t one(const std::string& line) {
+  const auto words = assemble(line);
+  EXPECT_EQ(words.size(), 1u);
+  return words[0];
+}
+
+TEST(Assembler, DataProcessingEncodings) {
+  EXPECT_EQ(one("mov r0, #0"), 0xE3A00000u);
+  EXPECT_EQ(one("mov r1, r2"), 0xE1A01002u);
+  EXPECT_EQ(one("add r3, r1, r2"), 0xE0813002u);
+  EXPECT_EQ(one("adds r3, r1, #1"), 0xE2913001u);
+  EXPECT_EQ(one("subeq r4, r5, r6"), 0x00454006u);
+  EXPECT_EQ(one("cmp r0, r1"), 0xE1500001u);
+  EXPECT_EQ(one("movs r1, r2, lsl #3"), 0xE1B01182u);
+  EXPECT_EQ(one("mov r1, r2, lsr r3"), 0xE1A01332u);
+  EXPECT_EQ(one("mvn r0, #0"), 0xE3E00000u);
+  EXPECT_EQ(one("bic r0, r0, #255"), 0xE3C000FFu);
+}
+
+TEST(Assembler, MulMemBranchSwi) {
+  EXPECT_EQ(one("mul r5, r1, r2"), 0xE0050291u);
+  EXPECT_EQ(one("mla r5, r1, r2, r3"), 0xE0253291u);
+  EXPECT_EQ(one("ldr r4, [r0, #4]"), 0xE5904004u);
+  EXPECT_EQ(one("str r4, [r2]"), 0xE5824000u);
+  EXPECT_EQ(one("ldr r4, [r0, #-8]"), 0xE5104008u);
+  EXPECT_EQ(one("swi 0"), 0xEF000000u);
+  // Branches: "loop: b loop" -> offset -2.
+  const auto words = assemble("loop: b loop");
+  EXPECT_EQ(words[0], 0xEAFFFFFEu);
+}
+
+TEST(Assembler, ConditionSuffixParsing) {
+  // "bls" is branch-if-lower-or-same, "blls" is branch-and-link ls.
+  const auto b = assemble("x: bls x");
+  EXPECT_EQ(b[0] >> 28, static_cast<std::uint32_t>(Cond::Ls));
+  EXPECT_EQ((b[0] >> 24) & 1u, 0u);
+  const auto bl = assemble("x: blls x");
+  EXPECT_EQ(bl[0] >> 28, static_cast<std::uint32_t>(Cond::Ls));
+  EXPECT_EQ((bl[0] >> 24) & 1u, 1u);
+  EXPECT_EQ(one("movlo r0, #1") >> 28, static_cast<std::uint32_t>(Cond::Cc));
+  EXPECT_EQ(one("movhs r0, #1") >> 28, static_cast<std::uint32_t>(Cond::Cs));
+}
+
+TEST(Assembler, LiteralPool) {
+  const auto words = assemble(R"(
+    ldr r0, =0x12345678
+    swi 0
+  )");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[2], 0x12345678u);
+  // ldr r0, [pc, #offset]: pc = 0 + 8, literal at 8 -> offset 0.
+  EXPECT_EQ(words[0], 0xE59F0000u);
+}
+
+TEST(Assembler, WordDirectiveAndLabels) {
+  const auto words = assemble(R"(
+    b start
+  data:
+    .word 42
+    .word data
+  start:
+    swi 0
+  )");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[1], 42u);
+  EXPECT_EQ(words[2], 4u);  // address of 'data'
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble("mov r0, #0x101"), AssemblyError);
+  EXPECT_THROW(assemble("frobnicate r0"), AssemblyError);
+  EXPECT_THROW(assemble("mov r99, #0"), AssemblyError);
+  EXPECT_THROW(assemble("b nowhere"), AssemblyError);
+  EXPECT_THROW(assemble("ldrb r0, [r1]"), AssemblyError);
+  EXPECT_THROW(assemble("x: x: swi 0"), AssemblyError);
+  try {
+    assemble("mov r0, #0\nbadop r1");
+  } catch (const AssemblyError& e) {
+    EXPECT_EQ(e.line_no, 2u);
+  }
+}
+
+TEST(Disassembler, RoundTripSpotChecks) {
+  EXPECT_EQ(disassemble(one("add r3, r1, r2")), "add r3, r1, r2");
+  EXPECT_EQ(disassemble(one("swi 0")), "swi 0");
+  EXPECT_EQ(disassemble(one("mul r5, r1, r2")), "mul r5, r1, r2");
+}
+
+TEST(Sim, RunsSmallProgram) {
+  // out[0] = alice[0] + bob[0]; out[1] = alice[0] - bob[0].
+  const auto program = assemble(R"(
+    ldr r4, [r0]
+    ldr r5, [r1]
+    add r6, r4, r5
+    str r6, [r2]
+    sub r7, r4, r5
+    str r7, [r2, #4]
+    swi 0
+  )");
+  MemoryConfig cfg;
+  ArmSim sim(cfg, program);
+  sim.reset({{100}}, {{58}});
+  const std::uint64_t cycles = sim.run();
+  EXPECT_EQ(cycles, 7u);
+  EXPECT_EQ(sim.out_mem()[0], 158u);
+  EXPECT_EQ(sim.out_mem()[1], 42u);
+  EXPECT_TRUE(sim.halted());
+}
+
+TEST(Sim, ConditionalExecution) {
+  // max(alice[0], bob[0]) without branches (the paper's Figure 5 pattern).
+  const auto program = assemble(R"(
+    ldr r4, [r0]
+    ldr r5, [r1]
+    cmp r4, r5
+    movlo r4, r5     ; if r4 < r5 (unsigned), r4 = r5
+    str r4, [r2]
+    swi 0
+  )");
+  MemoryConfig cfg;
+  ArmSim sim(cfg, program);
+  sim.reset({{7}}, {{9}});
+  sim.run();
+  EXPECT_EQ(sim.out_mem()[0], 9u);
+  sim.reset({{12}}, {{9}});
+  sim.run();
+  EXPECT_EQ(sim.out_mem()[0], 12u);
+}
+
+TEST(Sim, LoopWithBranch) {
+  // out[0] = sum of bob[0..3].
+  const auto program = assemble(R"(
+    mov r4, #0      ; acc
+    mov r5, #0      ; i
+  loop:
+    ldr r6, [r1]
+    add r4, r4, r6
+    add r1, r1, #4
+    add r5, r5, #1
+    cmp r5, #4
+    bne loop
+    str r4, [r2]
+    swi 0
+  )");
+  MemoryConfig cfg;
+  ArmSim sim(cfg, program);
+  sim.reset({}, {{10, 20, 30, 40}});
+  sim.run();
+  EXPECT_EQ(sim.out_mem()[0], 100u);
+}
+
+TEST(Sim, MultiPrecisionAddWithCarry) {
+  // 64-bit add via adds/adcs.
+  const auto program = assemble(R"(
+    ldr r4, [r0]
+    ldr r5, [r0, #4]
+    ldr r6, [r1]
+    ldr r7, [r1, #4]
+    adds r8, r4, r6
+    adc r9, r5, r7
+    str r8, [r2]
+    str r9, [r2, #4]
+    swi 0
+  )");
+  MemoryConfig cfg;
+  ArmSim sim(cfg, program);
+  sim.reset({{0xFFFFFFFFu, 1u}}, {{2u, 3u}});
+  sim.run();
+  EXPECT_EQ(sim.out_mem()[0], 1u);
+  EXPECT_EQ(sim.out_mem()[1], 5u);  // 1 + 3 + carry
+}
+
+}  // namespace

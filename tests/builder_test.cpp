@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "builder/circuit_builder.h"
+#include "builder/stdlib.h"
+#include "crypto/rng.h"
+#include "netlist/opt.h"
+#include "netlist/simulator.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace arm2gc;
+using namespace arm2gc::builder;
+using a2gtest::from_bits;
+using a2gtest::to_bits;
+
+/// Evaluates a combinational circuit: builds inputs a (Alice) and b (Bob) of
+/// `width` bits each through `body`, simulates one cycle, returns outputs.
+template <typename Body>
+netlist::BitVec run_comb(std::size_t width, std::uint64_t a, std::uint64_t b, Body&& body) {
+  CircuitBuilder cb;
+  const Bus ba = cb.input_bus(netlist::Owner::Alice, width, 0, false, "a");
+  const Bus bb = cb.input_bus(netlist::Owner::Bob, width, 0, false, "b");
+  body(cb, ba, bb);
+  const netlist::Netlist nl = cb.take();
+  netlist::Simulator sim(nl);
+  sim.reset(to_bits(a, width), to_bits(b, width));
+  sim.step();
+  return sim.read_outputs();
+}
+
+constexpr std::uint32_t u32(std::uint64_t v) { return static_cast<std::uint32_t>(v); }
+
+class ArithRandom : public ::testing::TestWithParam<int> {
+ protected:
+  ArithRandom() : rng_(crypto::block_from_u64(static_cast<std::uint64_t>(GetParam()))) {}
+  crypto::CtrRng rng_;
+};
+
+TEST_P(ArithRandom, AdderMatchesUint) {
+  const std::uint32_t a = u32(rng_.next_u64());
+  const std::uint32_t b = u32(rng_.next_u64());
+  const auto out = run_comb(32, a, b, [](CircuitBuilder& cb, const Bus& x, const Bus& y) {
+    cb.output_bus(add(cb, x, y), "sum");
+  });
+  EXPECT_EQ(u32(from_bits(out, 0, 32)), u32(a + b));
+}
+
+TEST_P(ArithRandom, AdderCarryAndOverflow) {
+  const std::uint32_t a = u32(rng_.next_u64());
+  const std::uint32_t b = u32(rng_.next_u64());
+  const auto out = run_comb(32, a, b, [](CircuitBuilder& cb, const Bus& x, const Bus& y) {
+    const AddOut r = add_full(cb, x, y, cb.c0());
+    cb.output_bus(r.sum, "sum");
+    cb.output(r.carry_out, "c");
+    cb.output(r.overflow, "v");
+  });
+  const std::uint64_t wide = static_cast<std::uint64_t>(a) + b;
+  EXPECT_EQ(u32(from_bits(out, 0, 32)), u32(wide));
+  EXPECT_EQ(out[32], (wide >> 32) != 0);
+  const bool ovf = (~(a ^ b) & (a ^ u32(wide)) & 0x80000000u) != 0;
+  EXPECT_EQ(out[33], ovf);
+}
+
+TEST_P(ArithRandom, SubMatchesUint) {
+  const std::uint32_t a = u32(rng_.next_u64());
+  const std::uint32_t b = u32(rng_.next_u64());
+  const auto out = run_comb(32, a, b, [](CircuitBuilder& cb, const Bus& x, const Bus& y) {
+    const AddOut r = sub_full(cb, x, y);
+    cb.output_bus(r.sum, "diff");
+    cb.output(r.carry_out, "nb");
+  });
+  EXPECT_EQ(u32(from_bits(out, 0, 32)), u32(a - b));
+  EXPECT_EQ(out[32], a >= b);  // ARM C flag on subtraction: NOT borrow
+}
+
+TEST_P(ArithRandom, MulLowerMatchesUint) {
+  const std::uint32_t a = u32(rng_.next_u64());
+  const std::uint32_t b = u32(rng_.next_u64());
+  const auto out = run_comb(32, a, b, [](CircuitBuilder& cb, const Bus& x, const Bus& y) {
+    cb.output_bus(mul_lower(cb, x, y, 32), "p");
+  });
+  EXPECT_EQ(u32(from_bits(out, 0, 32)), u32(a * b));
+}
+
+TEST_P(ArithRandom, ComparatorsMatch) {
+  const std::uint32_t a = u32(rng_.next_u64());
+  const std::uint32_t b = rng_.next_bool() ? u32(rng_.next_u64()) : a;  // exercise equality
+  const auto out = run_comb(32, a, b, [](CircuitBuilder& cb, const Bus& x, const Bus& y) {
+    cb.output(eq(cb, x, y), "eq");
+    cb.output(ult(cb, x, y), "ult");
+    cb.output(slt(cb, x, y), "slt");
+  });
+  EXPECT_EQ(out[0], a == b);
+  EXPECT_EQ(out[1], a < b);
+  EXPECT_EQ(out[2], static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b));
+}
+
+TEST_P(ArithRandom, PopcountMatches) {
+  const std::uint64_t a = rng_.next_u64();
+  const auto out = run_comb(64, a, 0, [](CircuitBuilder& cb, const Bus& x, const Bus&) {
+    cb.output_bus(popcount(cb, x), "pc");
+  });
+  EXPECT_EQ(from_bits(out, 0, 8), static_cast<std::uint64_t>(__builtin_popcountll(a)));
+}
+
+TEST_P(ArithRandom, BarrelShiftsMatch) {
+  const std::uint32_t a = u32(rng_.next_u64());
+  const std::uint32_t amt = u32(rng_.next_below(32));
+  const auto out =
+      run_comb(32, a, amt, [](CircuitBuilder& cb, const Bus& x, const Bus& y) {
+        const Bus amt5(y.begin(), y.begin() + 5);
+        cb.output_bus(barrel_right(cb, x, amt5, cb.c0(), false), "lsr");
+        cb.output_bus(barrel_right(cb, x, amt5, x.back(), false), "asr");
+        cb.output_bus(barrel_right(cb, x, amt5, cb.c0(), true), "ror");
+        cb.output_bus(barrel_left(cb, x, amt5, cb.c0()), "lsl");
+      });
+  EXPECT_EQ(u32(from_bits(out, 0, 32)), a >> amt);
+  EXPECT_EQ(u32(from_bits(out, 32, 32)),
+            u32(static_cast<std::uint64_t>(static_cast<std::int64_t>(static_cast<std::int32_t>(a)) >> amt)));
+  EXPECT_EQ(u32(from_bits(out, 64, 32)), amt == 0 ? a : ((a >> amt) | (a << (32 - amt))));
+  EXPECT_EQ(u32(from_bits(out, 96, 32)), u32(a << amt));
+}
+
+TEST_P(ArithRandom, SelectAndDecode) {
+  const std::uint32_t sel = u32(rng_.next_below(8));
+  const auto out = run_comb(32, sel, 0, [&](CircuitBuilder& cb, const Bus& x, const Bus&) {
+    const Bus sel3(x.begin(), x.begin() + 3);
+    std::vector<Bus> options;
+    for (std::uint64_t k = 0; k < 8; ++k) options.push_back(bus_constant(cb, 100 + k, 8));
+    cb.output_bus(select(cb, sel3, options), "sel");
+    for (arm2gc::builder::Wire w : decode_onehot(cb, sel3)) cb.output(w, "hot");
+  });
+  EXPECT_EQ(from_bits(out, 0, 8), 100 + sel);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[8 + i], i == sel) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArithRandom, ::testing::Range(0, 24));
+
+TEST(Builder, ConstantFoldingCreatesNoGates) {
+  CircuitBuilder cb;
+  const Wire a = cb.input(netlist::Owner::Alice, 0);
+  EXPECT_EQ(cb.and_(a, cb.c0()).id, netlist::kConst0);
+  EXPECT_EQ(cb.and_(a, cb.c1()).id, a.id);
+  EXPECT_EQ(cb.or_(a, cb.c1()).id, netlist::kConst1);
+  EXPECT_EQ(cb.xor_(a, a).id, netlist::kConst0);
+  const Wire nota = CircuitBuilder::not_(a);
+  EXPECT_EQ(cb.and_(a, nota).id, netlist::kConst0);
+  EXPECT_EQ(cb.or_(a, nota).id, netlist::kConst1);
+  const Wire x = cb.xor_(a, cb.c1());  // = ~a, no gate
+  EXPECT_EQ(x.id, a.id);
+  EXPECT_TRUE(x.inv);
+  EXPECT_EQ(cb.num_gates(), 0u);
+}
+
+TEST(Builder, StructuralHashingSharesGates) {
+  CircuitBuilder cb;
+  const Wire a = cb.input(netlist::Owner::Alice, 0);
+  const Wire b = cb.input(netlist::Owner::Bob, 0);
+  const Wire g1 = cb.and_(a, b);
+  const Wire g2 = cb.and_(b, a);  // commuted
+  EXPECT_EQ(g1.id, g2.id);
+  const Wire g3 = cb.nand_(a, b);  // complement of the same gate
+  EXPECT_EQ(g3.id, g1.id);
+  EXPECT_NE(g3.inv, g1.inv);
+  // NOR(~a,~b) == AND(a,b) up to output inversion sharing.
+  const Wire g4 = cb.nor_(CircuitBuilder::not_(a), CircuitBuilder::not_(b));
+  EXPECT_EQ(g4.id, g1.id);
+  EXPECT_EQ(cb.num_gates(), 1u);
+}
+
+TEST(Builder, MuxCostsOneAnd) {
+  CircuitBuilder cb;
+  const Wire s = cb.input(netlist::Owner::Alice, 0);
+  const Wire t = cb.input(netlist::Owner::Bob, 0);
+  const Wire f = cb.input(netlist::Owner::Bob, 1);
+  cb.output(cb.mux(s, t, f));
+  EXPECT_EQ(cb.num_non_free(), 1u);
+}
+
+TEST(Builder, AdderCostsOneAndPerBit) {
+  CircuitBuilder cb;
+  const Bus a = cb.input_bus(netlist::Owner::Alice, 32, 0);
+  const Bus b = cb.input_bus(netlist::Owner::Bob, 32, 0);
+  cb.output_bus(add(cb, a, b));
+  netlist::Netlist nl = cb.take();
+  netlist::sweep_dead_gates(nl);
+  EXPECT_EQ(nl.count_non_free(), 31u);  // MSB carry gate is dead and swept
+}
+
+TEST(Builder, DffBeforeGatesEnforced) {
+  CircuitBuilder cb;
+  const Wire a = cb.input(netlist::Owner::Alice, 0);
+  const Wire b = cb.input(netlist::Owner::Bob, 0);
+  (void)cb.and_(a, b);
+  EXPECT_THROW(cb.make_dff(), std::logic_error);
+}
+
+TEST(Builder, SequentialAccumulator) {
+  // acc <= acc + streamed Alice bit, 4-bit accumulator.
+  CircuitBuilder cb;
+  const auto acc = cb.make_dff_bus(4);
+  const Wire in = cb.input(netlist::Owner::Alice, 0, /*streamed=*/true);
+  Bus next = add(cb, cb.dff_out_bus(acc), zext(cb, Bus{in}, 4));
+  cb.set_dff_d_bus(acc, next);
+  cb.output_bus(cb.dff_out_bus(acc), "acc");
+  cb.set_outputs_every_cycle(true);
+  const netlist::Netlist nl = cb.take();
+  netlist::Simulator sim(nl);
+  sim.reset();
+  int expect = 0;
+  for (const bool bit : {true, true, false, true, true}) {
+    sim.step({bit});
+    EXPECT_EQ(from_bits(sim.read_outputs(), 0, 4), static_cast<std::uint64_t>(expect));
+    expect += bit ? 1 : 0;
+  }
+}
+
+TEST(StdLib, IncMatches) {
+  for (std::uint64_t v : {0ull, 1ull, 14ull, 15ull}) {
+    const auto out = run_comb(4, v, 0, [](CircuitBuilder& cb, const Bus& x, const Bus&) {
+      cb.output_bus(inc(cb, x));
+    });
+    EXPECT_EQ(from_bits(out, 0, 4), (v + 1) & 0xF);
+  }
+}
+
+TEST(StdLib, ConstShiftsAreFree) {
+  CircuitBuilder cb;
+  const Bus a = cb.input_bus(netlist::Owner::Alice, 32, 0);
+  cb.output_bus(shl_const(cb, a, 5));
+  cb.output_bus(lshr_const(cb, a, 7));
+  cb.output_bus(ashr_const(a, 3));
+  cb.output_bus(ror_const(a, 13));
+  EXPECT_EQ(cb.num_gates(), 0u);
+}
+
+TEST(StdLib, SextZext) {
+  const auto out = run_comb(8, 0x80, 0, [](CircuitBuilder& cb, const Bus& x, const Bus&) {
+    cb.output_bus(sext(cb, x, 16));
+    cb.output_bus(zext(cb, x, 16));
+  });
+  EXPECT_EQ(from_bits(out, 0, 16), 0xFF80u);
+  EXPECT_EQ(from_bits(out, 16, 16), 0x0080u);
+}
+
+}  // namespace

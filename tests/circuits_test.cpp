@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "circuits/gf_tower.h"
+#include "circuits/reference.h"
+#include "circuits/tg_circuits.h"
+#include "crypto/rng.h"
+#include "netlist/simulator.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace arm2gc;
+using namespace arm2gc::circuits;
+using a2gtest::to_bits;
+using core::Mode;
+using netlist::BitVec;
+
+// --- tower field / S-box ------------------------------------------------------
+
+TEST(GfTower, IsomorphismAndInverse) {
+  const GfTower t;
+  // phi is a bijection fixing 0 and 1.
+  EXPECT_EQ(t.to_tower(0), 0);
+  EXPECT_EQ(t.to_tower(1), 1);
+  EXPECT_EQ(t.from_tower(t.to_tower(0xAB)), 0xAB);
+  // Inversion: x * x^-1 == 1 in the tower.
+  for (int x = 1; x < 256; ++x) {
+    const auto xt = static_cast<std::uint8_t>(x);
+    EXPECT_EQ(t.mul(xt, t.inv(xt)), 1) << x;
+  }
+  EXPECT_EQ(t.inv(0), 0);
+}
+
+TEST(GfTower, SboxMatchesBruteForce) {
+  const GfTower t;
+  for (int x = 0; x < 256; ++x) {
+    EXPECT_EQ(t.sbox(static_cast<std::uint8_t>(x)),
+              aes_sbox_reference(static_cast<std::uint8_t>(x)))
+        << x;
+  }
+  EXPECT_EQ(aes_sbox_reference(0x00), 0x63);
+  EXPECT_EQ(aes_sbox_reference(0x53), 0xED);
+}
+
+TEST(GfTower, SboxCircuitExhaustive) {
+  builder::CircuitBuilder cb;
+  const builder::Bus x = cb.input_bus(netlist::Owner::Alice, 8, 0);
+  cb.output_bus(build_sbox(cb, x), "s");
+  const netlist::Netlist nl = cb.take();
+  // 36 AND gates: 9 per GF(16) multiply/inverse block.
+  EXPECT_EQ(nl.count_non_free(), 36u);
+  netlist::Simulator sim(nl);
+  for (int v = 0; v < 256; ++v) {
+    sim.reset(to_bits(static_cast<std::uint64_t>(v), 8));
+    sim.step();
+    EXPECT_EQ(a2gtest::from_bits(sim.read_outputs(), 0, 8),
+              aes_sbox_reference(static_cast<std::uint8_t>(v)))
+        << v;
+  }
+}
+
+// --- reference implementations -------------------------------------------------
+
+TEST(Reference, KeccakRoundConstants) {
+  const auto& rc = keccak_round_constants();
+  EXPECT_EQ(rc[0], 0x0000000000000001ull);
+  EXPECT_EQ(rc[1], 0x0000000000008082ull);
+  EXPECT_EQ(rc[2], 0x800000000000808aull);
+  EXPECT_EQ(rc[23], 0x8000000080008008ull);
+}
+
+TEST(Reference, Sha3_256KnownVectors) {
+  // SHA3-256(""), FIPS-202 example.
+  const auto empty = sha3_256({});
+  const std::array<std::uint8_t, 8> expect_head = {0xa7, 0xff, 0xc6, 0xf8,
+                                                   0xbf, 0x1e, 0xd7, 0x66};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(empty[static_cast<std::size_t>(i)], expect_head[static_cast<std::size_t>(i)]) << i;
+  // SHA3-256("abc") = 3a985da74fe225b2...
+  const auto abc = sha3_256({'a', 'b', 'c'});
+  const std::array<std::uint8_t, 8> abc_head = {0x3a, 0x98, 0x5d, 0xa7, 0x4f, 0xe2, 0x25, 0xb2};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(abc[static_cast<std::size_t>(i)], abc_head[static_cast<std::size_t>(i)]) << i;
+}
+
+// --- TG benchmark circuits -----------------------------------------------------
+
+TEST(TgCircuits, Sum32MatchesPaperCounts) {
+  const std::uint32_t a = 0xDEADBEEF, b = 0x01234567;
+  const TgInstance inst = tg_sum(32, to_bits(a, 32), to_bits(b, 32));
+  const TgRun skip = run_instance(inst, Mode::SkipGate);
+  const TgRun conv = run_instance(inst, Mode::Conventional);
+  EXPECT_EQ(static_cast<std::uint32_t>(skip.results[0]), a + b);
+  EXPECT_EQ(static_cast<std::uint32_t>(conv.results[0]), a + b);
+  // Paper Table 1: Sum 32 = 32 w/o SkipGate, 31 w/ SkipGate.
+  EXPECT_EQ(conv.stats.garbled_non_xor, 32u);
+  EXPECT_EQ(skip.stats.garbled_non_xor, 31u);
+}
+
+TEST(TgCircuits, Compare16384NoImprovementShape) {
+  // Scaled-down stand-in for Compare 16384 row structure: w/ == w/o.
+  const TgInstance inst = tg_compare(64, to_bits(100, 64), to_bits(200, 64));
+  const TgRun skip = run_instance(inst, Mode::SkipGate);
+  const TgRun conv = run_instance(inst, Mode::Conventional);
+  EXPECT_EQ(skip.results[0], 1u);
+  EXPECT_EQ(skip.stats.garbled_non_xor, conv.stats.garbled_non_xor);
+  EXPECT_EQ(skip.stats.garbled_non_xor, 64u);
+}
+
+TEST(TgCircuits, HammingMatchesReference) {
+  crypto::CtrRng rng(crypto::block_from_u64(11));
+  for (const std::size_t nbits : {32ul, 160ul}) {
+    BitVec a(nbits), b(nbits);
+    int expect = 0;
+    for (std::size_t i = 0; i < nbits; ++i) {
+      a[i] = rng.next_bool();
+      b[i] = rng.next_bool();
+      if (a[i] != b[i]) ++expect;
+    }
+    const TgInstance inst = tg_hamming(nbits, a, b);
+    const TgRun skip = run_instance(inst, Mode::SkipGate);
+    const TgRun conv = run_instance(inst, Mode::Conventional);
+    EXPECT_EQ(skip.results[0], static_cast<std::uint64_t>(expect));
+    EXPECT_EQ(conv.results[0], static_cast<std::uint64_t>(expect));
+    // Counter width w: (w-1) ANDs per cycle, as in TinyGarble's numbers
+    // (Hamming 32 -> 160, Hamming 160 -> 1120 w/o SkipGate).
+    if (nbits == 32) EXPECT_EQ(conv.stats.garbled_non_xor, 160u);
+    if (nbits == 160) EXPECT_EQ(conv.stats.garbled_non_xor, 1120u);
+    EXPECT_LT(skip.stats.garbled_non_xor, conv.stats.garbled_non_xor);
+  }
+}
+
+TEST(TgCircuits, HammingTreeMatches) {
+  crypto::CtrRng rng(crypto::block_from_u64(12));
+  const std::size_t nbits = 160;
+  BitVec a(nbits), b(nbits);
+  int expect = 0;
+  for (std::size_t i = 0; i < nbits; ++i) {
+    a[i] = rng.next_bool();
+    b[i] = rng.next_bool();
+    if (a[i] != b[i]) ++expect;
+  }
+  const TgInstance inst = tg_hamming_tree(nbits, a, b);
+  const TgRun skip = run_instance(inst, Mode::SkipGate);
+  EXPECT_EQ(skip.results[0], static_cast<std::uint64_t>(expect));
+  // Tree counter: ~nbits ANDs total, far below the bit-serial variant.
+  EXPECT_LT(skip.stats.garbled_non_xor, 170u);
+}
+
+TEST(TgCircuits, Mult32Matches) {
+  const std::uint32_t a = 123456789, b = 987654321;
+  const TgInstance inst = tg_mult32(a, b);
+  const TgRun skip = run_instance(inst, Mode::SkipGate);
+  const TgRun conv = run_instance(inst, Mode::Conventional);
+  EXPECT_EQ(static_cast<std::uint32_t>(skip.results[0]), a * b);
+  EXPECT_EQ(static_cast<std::uint32_t>(conv.results[0]), a * b);
+  EXPECT_LT(skip.stats.garbled_non_xor, conv.stats.garbled_non_xor);
+  // Shape of paper Table 1 (2,048 vs 2,016): ~64/cycle, first-cycle adder free.
+  EXPECT_NEAR(static_cast<double>(conv.stats.garbled_non_xor), 2048.0, 64.0);
+}
+
+TEST(TgCircuits, MatMult3x3Matches) {
+  const std::size_t n = 3;
+  std::vector<std::uint32_t> a(n * n), b(n * n);
+  std::iota(a.begin(), a.end(), 1);
+  std::iota(b.begin(), b.end(), 100);
+  const TgInstance inst = tg_matmult(n, a, b);
+  const TgRun skip = run_instance(inst, Mode::SkipGate);
+  ASSERT_EQ(skip.results.size(), n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::uint32_t expect = 0;
+      for (std::size_t k = 0; k < n; ++k) expect += a[i * n + k] * b[k * n + j];
+      EXPECT_EQ(static_cast<std::uint32_t>(skip.results[i * n + j]), expect) << i << "," << j;
+    }
+  }
+}
+
+TEST(TgCircuits, Sha3MatchesReference) {
+  const std::vector<std::uint8_t> msg = {'a', 'r', 'm', '2', 'g', 'c'};
+  const TgInstance inst = tg_sha3_256(msg);
+  const TgRun skip = run_instance(inst, Mode::SkipGate);
+  const auto expect = sha3_256(msg);
+  ASSERT_EQ(skip.results.size(), 4u);
+  for (int w = 0; w < 4; ++w) {
+    std::uint64_t e = 0;
+    for (int i = 0; i < 8; ++i) {
+      e |= static_cast<std::uint64_t>(expect[static_cast<std::size_t>(8 * w + i)]) << (8 * i);
+    }
+    EXPECT_EQ(skip.results[static_cast<std::size_t>(w)], e) << w;
+  }
+  // Chi is 1600 ANDs/round for 24 rounds; SkipGate trims the final round's
+  // gates outside the digest cone (paper reports 38,400 of 40,032).
+  EXPECT_GE(skip.stats.garbled_non_xor, 23u * 1600u);
+  EXPECT_LE(skip.stats.garbled_non_xor, 24u * 1600u);
+}
+
+TEST(TgCircuits, Aes128MatchesReference) {
+  std::array<std::uint8_t, 16> pt{}, key{};
+  for (int i = 0; i < 16; ++i) {
+    pt[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(0x11 * i);
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  }
+  const TgInstance inst = tg_aes128(pt, key);
+  const TgRun skip = run_instance(inst, Mode::SkipGate);
+  const auto expect = aes128_encrypt(key, pt);
+  for (int w = 0; w < 2; ++w) {
+    std::uint64_t e = 0;
+    for (int i = 0; i < 8; ++i) {
+      e |= static_cast<std::uint64_t>(expect[static_cast<std::size_t>(8 * w + i)]) << (8 * i);
+    }
+    EXPECT_EQ(skip.results[static_cast<std::size_t>(w)], e) << w;
+  }
+  // 20 S-boxes x 36 AND x 10 rounds = 7,200 (paper: 6,400 with the 32-AND
+  // Boyar-Peralta S-box); everything else is public-controlled and skipped.
+  EXPECT_EQ(skip.stats.garbled_non_xor, 7200u);
+  const TgRun conv = run_instance(inst, Mode::Conventional);
+  EXPECT_GT(conv.stats.garbled_non_xor, skip.stats.garbled_non_xor);
+}
+
+TEST(TgCircuits, SkipGateNeverWorse) {
+  const TgInstance insts[] = {
+      tg_sum(16, to_bits(12345, 16), to_bits(54321, 16)),
+      tg_compare(16, to_bits(7, 16), to_bits(9, 16)),
+      tg_hamming(16, to_bits(0xF0F0, 16), to_bits(0x0F0F, 16)),
+      tg_mult32(3, 5),
+  };
+  for (const TgInstance& inst : insts) {
+    const TgRun skip = run_instance(inst, Mode::SkipGate);
+    const TgRun conv = run_instance(inst, Mode::Conventional);
+    EXPECT_LE(skip.stats.garbled_non_xor, conv.stats.garbled_non_xor) << inst.name;
+    EXPECT_EQ(skip.results, conv.results) << inst.name;
+  }
+}
+
+}  // namespace

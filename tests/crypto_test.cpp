@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.h"
+#include "crypto/block.h"
+#include "crypto/prf.h"
+#include "crypto/rng.h"
+
+namespace {
+
+using arm2gc::crypto::Aes128;
+using arm2gc::crypto::Block;
+using arm2gc::crypto::block_from_u64;
+using arm2gc::crypto::CtrRng;
+using arm2gc::crypto::GarbleHash;
+
+Block block_from_hex_bytes(const std::uint8_t (&bytes)[16]) { return Block::from_bytes(bytes); }
+
+TEST(Block, XorAndEquality) {
+  const Block a{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  const Block b{0x1111111111111111ULL, 0x2222222222222222ULL};
+  const Block c = a ^ b;
+  EXPECT_EQ(c ^ b, a);
+  EXPECT_EQ(c ^ a, b);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(Block{}.is_zero());
+  EXPECT_FALSE(a.is_zero());
+}
+
+TEST(Block, LsbIsBitZero) {
+  EXPECT_FALSE((Block{0, 0}).lsb());
+  EXPECT_TRUE((Block{1, 0}).lsb());
+  EXPECT_FALSE((Block{2, 0}).lsb());
+  EXPECT_TRUE((Block{3, 0}).lsb());
+}
+
+TEST(Block, GfDoubleReduction) {
+  // Doubling the top bit wraps to the reduction polynomial 0x87.
+  const Block top{0, 0x8000000000000000ULL};
+  EXPECT_EQ(top.gf_double(), (Block{0x87, 0}));
+  // Doubling without the top bit set is a plain shift.
+  const Block one{1, 0};
+  EXPECT_EQ(one.gf_double(), (Block{2, 0}));
+  const Block carry{0x8000000000000000ULL, 0};
+  EXPECT_EQ(carry.gf_double(), (Block{0, 1}));
+}
+
+TEST(Block, BytesRoundTrip) {
+  const Block a{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  std::uint8_t bytes[16];
+  a.to_bytes(bytes);
+  EXPECT_EQ(Block::from_bytes(bytes), a);
+}
+
+TEST(Block, HexFormatsMsbFirst) {
+  const Block a{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(a.hex(), "fedcba98765432100123456789abcdef");
+}
+
+TEST(Aes128, Fips197Vector) {
+  // FIPS-197 Appendix C.1.
+  const std::uint8_t key_bytes[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                      0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const std::uint8_t pt_bytes[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                                     0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const std::uint8_t ct_bytes[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                                     0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  const Aes128 aes(block_from_hex_bytes(key_bytes));
+  EXPECT_EQ(aes.encrypt(block_from_hex_bytes(pt_bytes)), block_from_hex_bytes(ct_bytes));
+}
+
+TEST(Aes128, DistinctPlaintextsDistinctCiphertexts) {
+  const Aes128 aes(block_from_u64(42));
+  EXPECT_FALSE(aes.encrypt(block_from_u64(0)) == aes.encrypt(block_from_u64(1)));
+}
+
+TEST(GarbleHash, DeterministicAndTweakSensitive) {
+  const GarbleHash h1;
+  const GarbleHash h2;
+  const Block x{0xdeadbeef, 0xcafebabe};
+  EXPECT_EQ(h1(x, 7), h2(x, 7));
+  EXPECT_FALSE(h1(x, 7) == h1(x, 8));
+  EXPECT_FALSE(h1(x, 7) == h1(x ^ Block{1, 0}, 7));
+}
+
+TEST(CtrRng, DeterministicPerSeed) {
+  CtrRng a(block_from_u64(1));
+  CtrRng b(block_from_u64(1));
+  CtrRng c(block_from_u64(2));
+  const Block x = a.next_block();
+  EXPECT_EQ(x, b.next_block());
+  EXPECT_FALSE(x == c.next_block());
+  EXPECT_FALSE(a.next_block() == x);  // counter advances
+}
+
+TEST(CtrRng, NextBelowInRange) {
+  CtrRng rng(block_from_u64(3));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+}  // namespace

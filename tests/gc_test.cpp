@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "crypto/block.h"
+#include "gc/channel.h"
+#include "gc/garble.h"
+#include "gc/ot.h"
+#include "netlist/gate.h"
+
+namespace {
+
+using arm2gc::crypto::Block;
+using arm2gc::crypto::block_from_u64;
+using namespace arm2gc::gc;
+using arm2gc::netlist::tt_and_core;
+using arm2gc::netlist::tt_eval;
+using arm2gc::netlist::tt_is_affine;
+using arm2gc::netlist::TruthTable;
+
+TEST(Garbler, PointAndPermuteOffset) {
+  const Garbler g(block_from_u64(7));
+  EXPECT_TRUE(g.R().lsb());
+  EXPECT_FALSE(g.R().is_zero());
+}
+
+struct SchemeCase {
+  Scheme scheme;
+  int tt;
+};
+
+class GarbleAllGates : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GarbleAllGates, GarbleEvalMatchesTruthTable) {
+  const Scheme scheme = static_cast<Scheme>(std::get<0>(GetParam()));
+  const auto tt = static_cast<TruthTable>(std::get<1>(GetParam()));
+  if (tt_is_affine(tt)) return;  // affine gates are free, never garbled
+
+  Garbler garbler(block_from_u64(99), scheme);
+  Evaluator evaluator(scheme);
+  const Block r = garbler.R();
+  const Block a0 = garbler.fresh_label();
+  const Block b0 = garbler.fresh_label();
+
+  GarbledTable table;
+  const Block w0 = garbler.garble(a0, b0, tt_and_core(tt), table);
+  EXPECT_EQ(table.count, blocks_per_gate(scheme));
+
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      Evaluator ev(scheme);  // fresh tweak sequence per evaluation
+      const Block wa = va ? (a0 ^ r) : a0;
+      const Block wb = vb ? (b0 ^ r) : b0;
+      const Block w = ev.eval(wa, wb, table);
+      const bool expect = tt_eval(tt, va, vb);
+      EXPECT_EQ(w, expect ? (w0 ^ r) : w0)
+          << "tt=" << static_cast<int>(tt) << " va=" << va << " vb=" << vb;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemesAllGates, GarbleAllGates,
+                         ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Range(0, 16)));
+
+TEST(Garble, ChainedGatesStayConsistent) {
+  // Garble a small DAG: d = (a & b) ^ c ; e = d | a  (the XOR is free).
+  Garbler g(block_from_u64(5));
+  Evaluator ev;
+  const Block r = g.R();
+  const Block a0 = g.fresh_label();
+  const Block b0 = g.fresh_label();
+  const Block c0 = g.fresh_label();
+
+  GarbledTable t1;
+  const Block and0 = g.garble(a0, b0, tt_and_core(arm2gc::netlist::kTtAnd), t1);
+  const Block d0 = and0 ^ c0;  // free-XOR
+  GarbledTable t2;
+  const Block e0 = g.garble(d0, a0, tt_and_core(arm2gc::netlist::kTtOr), t2);
+
+  for (int bits = 0; bits < 8; ++bits) {
+    const bool va = bits & 1;
+    const bool vb = bits & 2;
+    const bool vc = bits & 4;
+    Evaluator e;
+    const Block wa = va ? a0 ^ r : a0;
+    const Block wb = vb ? b0 ^ r : b0;
+    const Block wc = vc ? c0 ^ r : c0;
+    const Block wand = e.eval(wa, wb, t1);
+    const Block wd = wand ^ wc;
+    const Block we = e.eval(wd, wa, t2);
+    const bool expect = ((va && vb) != vc) || va;
+    EXPECT_EQ(we, expect ? e0 ^ r : e0) << bits;
+  }
+}
+
+TEST(Channel, AccountsTrafficClasses) {
+  Channel ch;
+  ch.send(block_from_u64(1), Traffic::GarbledTable);
+  ch.send(block_from_u64(2), Traffic::GarbledTable);
+  ch.send(block_from_u64(3), Traffic::InputLabel);
+  ch.account(Traffic::Ot, 16);
+  EXPECT_EQ(ch.stats().garbled_table_bytes, 32u);
+  EXPECT_EQ(ch.stats().input_label_bytes, 16u);
+  EXPECT_EQ(ch.stats().ot_bytes, 16u);
+  EXPECT_EQ(ch.stats().total(), 64u);
+  EXPECT_EQ(ch.recv(), block_from_u64(1));
+  EXPECT_EQ(ch.recv(), block_from_u64(2));
+  ch.compact();
+  EXPECT_EQ(ch.recv(), block_from_u64(3));
+  EXPECT_THROW(ch.recv(), std::runtime_error);
+}
+
+TEST(Ot, DeliversChosenLabelAndAccounts) {
+  Channel ch;
+  OtSender sender(ch);
+  OtReceiver receiver(ch);
+  const Block x0 = block_from_u64(10);
+  const Block x1 = block_from_u64(11);
+  sender.send(x0, x1, false);
+  EXPECT_EQ(receiver.receive(), x0);
+  sender.send(x0, x1, true);
+  EXPECT_EQ(receiver.receive(), x1);
+  EXPECT_EQ(ch.stats().ot_bytes, 2 * kOtBytesPerChoice);
+}
+
+TEST(Garble, DistinctSeedsDistinctLabels) {
+  Garbler g1(block_from_u64(1));
+  Garbler g2(block_from_u64(2));
+  EXPECT_FALSE(g1.R() == g2.R());
+  EXPECT_FALSE(g1.fresh_label() == g2.fresh_label());
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "netlist/gate.h"
+#include "netlist/io.h"
+#include "netlist/netlist.h"
+#include "netlist/opt.h"
+#include "netlist/simulator.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace arm2gc::netlist;
+using a2gtest::to_bits;
+
+// --- truth-table algebra (property sweeps over all 16 tables) ----------------
+
+TEST(TruthTable, AffineClassification) {
+  // Exactly 8 of the 16 tables are affine: 0, 1, a, ~a, b, ~b, xor, xnor.
+  int affine = 0;
+  for (int tt = 0; tt < 16; ++tt) {
+    if (tt_is_affine(static_cast<TruthTable>(tt))) ++affine;
+  }
+  EXPECT_EQ(affine, 8);
+  EXPECT_TRUE(tt_is_affine(kTtXor));
+  EXPECT_TRUE(tt_is_affine(kTtXnor));
+  EXPECT_FALSE(tt_is_affine(kTtAnd));
+  EXPECT_FALSE(tt_is_affine(kTtOr));
+  EXPECT_FALSE(tt_is_affine(kTtNand));
+  EXPECT_FALSE(tt_is_affine(kTtNor));
+}
+
+class AllTruthTables : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllTruthTables, RestrictAMatchesEval) {
+  const auto tt = static_cast<TruthTable>(GetParam());
+  for (const bool va : {false, true}) {
+    const UnaryTable u = tt_restrict_a(tt, va);
+    for (const bool vb : {false, true}) {
+      EXPECT_EQ(unary_eval(u, vb), tt_eval(tt, va, vb));
+    }
+  }
+}
+
+TEST_P(AllTruthTables, RestrictBMatchesEval) {
+  const auto tt = static_cast<TruthTable>(GetParam());
+  for (const bool vb : {false, true}) {
+    const UnaryTable u = tt_restrict_b(tt, vb);
+    for (const bool va : {false, true}) {
+      EXPECT_EQ(unary_eval(u, va), tt_eval(tt, va, vb));
+    }
+  }
+}
+
+TEST_P(AllTruthTables, RestrictDiagMatchesEval) {
+  const auto tt = static_cast<TruthTable>(GetParam());
+  for (const bool diff : {false, true}) {
+    const UnaryTable u = tt_restrict_diag(tt, diff);
+    for (const bool va : {false, true}) {
+      EXPECT_EQ(unary_eval(u, va), tt_eval(tt, va, va != diff));
+    }
+  }
+}
+
+TEST_P(AllTruthTables, NegationAndSwapInvolutions) {
+  const auto tt = static_cast<TruthTable>(GetParam());
+  EXPECT_EQ(tt_neg_a(tt_neg_a(tt)), tt);
+  EXPECT_EQ(tt_neg_b(tt_neg_b(tt)), tt);
+  EXPECT_EQ(tt_swap(tt_swap(tt)), tt);
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      EXPECT_EQ(tt_eval(tt_neg_a(tt), a, b), tt_eval(tt, !a, b));
+      EXPECT_EQ(tt_eval(tt_neg_b(tt), a, b), tt_eval(tt, a, !b));
+      EXPECT_EQ(tt_eval(tt_swap(tt), a, b), tt_eval(tt, b, a));
+    }
+  }
+}
+
+TEST_P(AllTruthTables, AndCoreReconstructsNonAffine) {
+  const auto tt = static_cast<TruthTable>(GetParam());
+  if (tt_is_affine(tt)) return;
+  const AndCore c = tt_and_core(tt);
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      const bool want = tt_eval(tt, a, b);
+      const bool got = c.gamma != (((a != c.alpha) && (b != c.beta)));
+      EXPECT_EQ(got, want) << "tt=" << static_cast<int>(tt);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All16, AllTruthTables, ::testing::Range(0, 16));
+
+// --- netlist structure / simulator -------------------------------------------
+
+Netlist make_full_adder() {
+  Netlist nl;
+  nl.inputs.push_back(Input{Owner::Alice, false, 0, "a"});
+  nl.inputs.push_back(Input{Owner::Alice, false, 1, "b"});
+  nl.inputs.push_back(Input{Owner::Alice, false, 2, "c"});
+  const WireId a = nl.input_wire(0);
+  const WireId b = nl.input_wire(1);
+  const WireId c = nl.input_wire(2);
+  // s = a^b^c ; carry = c ^ ((a^c)&(b^c))
+  nl.gates.push_back(Gate{a, c, kTtXor});           // g0 = a^c
+  nl.gates.push_back(Gate{b, c, kTtXor});           // g1 = b^c
+  const WireId g0 = nl.gate_wire(0);
+  const WireId g1 = nl.gate_wire(1);
+  nl.gates.push_back(Gate{g0, g1, kTtAnd});         // g2
+  const WireId g2 = nl.gate_wire(2);
+  nl.gates.push_back(Gate{g0, b, kTtXor});          // g3 = sum
+  nl.gates.push_back(Gate{c, g2, kTtXor});          // g4 = carry
+  nl.outputs.push_back(OutputPort{nl.gate_wire(3), false, "sum"});
+  nl.outputs.push_back(OutputPort{nl.gate_wire(4), false, "carry"});
+  return nl;
+}
+
+TEST(Simulator, FullAdderTruth) {
+  const Netlist nl = make_full_adder();
+  EXPECT_EQ(nl.count_non_free(), 1u);
+  Simulator sim(nl);
+  for (int v = 0; v < 8; ++v) {
+    sim.reset(to_bits(static_cast<std::uint64_t>(v), 3));
+    sim.step();
+    const BitVec out = sim.read_outputs();
+    const int total = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
+    EXPECT_EQ(out[0], (total & 1) != 0) << v;
+    EXPECT_EQ(out[1], (total >> 1) != 0) << v;
+  }
+}
+
+TEST(Netlist, ValidateRejectsForwardReference) {
+  Netlist nl;
+  nl.inputs.push_back(Input{Owner::Alice, false, 0, "a"});
+  // Gate referencing its own output wire.
+  nl.gates.push_back(Gate{nl.gate_wire(0), nl.input_wire(0), kTtAnd});
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, ValidateRejectsOutOfRange) {
+  Netlist nl;
+  nl.outputs.push_back(OutputPort{123, false, "x"});
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+Netlist make_counter(bool init_one) {
+  // 2-bit counter: (b1,b0) += 1 every cycle.
+  Netlist nl;
+  Dff d0;
+  d0.init = init_one ? Dff::Init::One : Dff::Init::Zero;
+  Dff d1;
+  nl.dffs.push_back(d0);
+  nl.dffs.push_back(d1);
+  const WireId q0 = nl.dff_wire(0);
+  const WireId q1 = nl.dff_wire(1);
+  nl.gates.push_back(Gate{q0, q1, kTtXor});  // next b1 = b1 ^ b0
+  nl.dffs[0].d = q0;
+  nl.dffs[0].d_invert = true;  // next b0 = ~b0
+  nl.dffs[1].d = nl.gate_wire(0);
+  nl.outputs.push_back(OutputPort{q0, false, "b0"});
+  nl.outputs.push_back(OutputPort{q1, false, "b1"});
+  nl.outputs_every_cycle = true;
+  return nl;
+}
+
+TEST(Simulator, SequentialCounter) {
+  const Netlist nl = make_counter(false);
+  Simulator sim(nl);
+  sim.reset();
+  for (int t = 0; t < 8; ++t) {
+    sim.step();
+    const BitVec out = sim.read_outputs();
+    EXPECT_EQ(a2gtest::from_bits(out, 0, 2), static_cast<std::uint64_t>(t % 4)) << t;
+  }
+}
+
+TEST(Simulator, DffInitFromParties) {
+  Netlist nl;
+  Dff da;
+  da.init = Dff::Init::AliceBit;
+  da.init_index = 0;
+  Dff db;
+  db.init = Dff::Init::BobBit;
+  db.init_index = 1;
+  nl.dffs.push_back(da);
+  nl.dffs.push_back(db);
+  nl.dffs[0].d = nl.dff_wire(0);
+  nl.dffs[1].d = nl.dff_wire(1);
+  nl.outputs.push_back(OutputPort{nl.dff_wire(0), false, "a"});
+  nl.outputs.push_back(OutputPort{nl.dff_wire(1), false, "b"});
+  Simulator sim(nl);
+  sim.reset({true}, {false, true});
+  sim.step();
+  EXPECT_TRUE(sim.read_outputs()[0]);
+  EXPECT_TRUE(sim.read_outputs()[1]);
+  EXPECT_EQ(nl.dff_init_bits(Owner::Alice), 1u);
+  EXPECT_EQ(nl.dff_init_bits(Owner::Bob), 2u);
+}
+
+TEST(NetlistIo, DumpLoadRoundTrip) {
+  const Netlist nl = make_full_adder();
+  const std::string text = dump_to_string(nl);
+  const Netlist back = load_from_string(text);
+  ASSERT_EQ(back.gates.size(), nl.gates.size());
+  ASSERT_EQ(back.inputs.size(), nl.inputs.size());
+  Simulator s1(nl);
+  Simulator s2(back);
+  for (int v = 0; v < 8; ++v) {
+    s1.reset(to_bits(static_cast<std::uint64_t>(v), 3));
+    s2.reset(to_bits(static_cast<std::uint64_t>(v), 3));
+    s1.step();
+    s2.step();
+    EXPECT_EQ(s1.read_outputs(), s2.read_outputs());
+  }
+}
+
+TEST(NetlistIo, LoadRejectsGarbage) {
+  EXPECT_THROW(load_from_string("not a netlist"), std::runtime_error);
+  EXPECT_THROW(load_from_string("arm2gc-netlist v1\noutputs_every_cycle 0\ninputs 1\n"),
+               std::runtime_error);
+}
+
+TEST(Opt, SweepRemovesDeadGates) {
+  Netlist nl = make_full_adder();
+  // Add a dead non-free gate.
+  nl.gates.push_back(Gate{nl.input_wire(0), nl.input_wire(1), kTtOr});
+  const std::size_t before = nl.count_non_free();
+  const SweepStats stats = sweep_dead_gates(nl);
+  EXPECT_EQ(stats.non_free_before, before);
+  EXPECT_EQ(stats.non_free_after, before - 1);
+  Simulator sim(nl);
+  for (int v = 0; v < 8; ++v) {
+    sim.reset(to_bits(static_cast<std::uint64_t>(v), 3));
+    sim.step();
+    const int total = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
+    EXPECT_EQ(a2gtest::from_bits(sim.read_outputs(), 0, 2), static_cast<std::uint64_t>(total));
+  }
+}
+
+TEST(Opt, SweepKeepsDffCones) {
+  Netlist nl = make_counter(false);
+  const SweepStats stats = sweep_dead_gates(nl);
+  EXPECT_EQ(stats.gates_after, stats.gates_before);
+}
+
+}  // namespace

@@ -1,0 +1,33 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace a2gtest {
+
+inline arm2gc::netlist::BitVec to_bits(std::uint64_t v, std::size_t width) {
+  arm2gc::netlist::BitVec b(width);
+  for (std::size_t i = 0; i < width; ++i) b[i] = ((v >> i) & 1u) != 0;
+  return b;
+}
+
+inline std::uint64_t from_bits(const arm2gc::netlist::BitVec& b, std::size_t off = 0,
+                               std::size_t width = 64) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width && off + i < b.size(); ++i) {
+    if (b[off + i]) v |= 1ull << i;
+  }
+  return v;
+}
+
+inline arm2gc::netlist::BitVec concat_bits(const arm2gc::netlist::BitVec& a,
+                                           const arm2gc::netlist::BitVec& b) {
+  arm2gc::netlist::BitVec r = a;
+  r.insert(r.end(), b.begin(), b.end());
+  return r;
+}
+
+}  // namespace a2gtest
