@@ -18,9 +18,14 @@ inline void row4(const std::string& name, const std::string& c1, const std::stri
 }
 
 inline std::string num(std::uint64_t v) {
-  std::string s = std::to_string(v);
-  for (int pos = static_cast<int>(s.size()) - 3; pos > 0; pos -= 3) {
-    s.insert(static_cast<std::size_t>(pos), ",");
+  // Built left-to-right (instead of insert-from-the-right) to sidestep the
+  // GCC 12 -Wrestrict false positive on std::string::insert (PR 105329).
+  const std::string digits = std::to_string(v);
+  std::string s;
+  s.reserve(digits.size() + digits.size() / 3);
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (digits.size() - i) % 3 == 0) s.push_back(',');
+    s.push_back(digits[i]);
   }
   return s;
 }

@@ -64,12 +64,6 @@ std::uint8_t tower_mul(std::uint8_t a, std::uint8_t b, std::uint8_t nu) {
   return static_cast<std::uint8_t>(((r ^ q) << 4) | (mul16(p, nu) ^ q));
 }
 
-std::uint8_t tower_sq(std::uint8_t a, std::uint8_t nu) {
-  const std::uint8_t a1 = (a >> 4) & 15, a0 = a & 15;
-  const std::uint8_t h = sq16(a1);
-  return static_cast<std::uint8_t>((h << 4) | (mul16(h, nu) ^ sq16(a0)));
-}
-
 std::uint8_t tower_inv(std::uint8_t a, std::uint8_t nu) {
   const std::uint8_t a1 = (a >> 4) & 15, a0 = a & 15;
   const std::uint8_t delta =

@@ -1,6 +1,7 @@
 #include "core/skipgate.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -128,7 +129,19 @@ class Engine {
   }
 
  private:
-  Block fresh_fp() { return fp_gen_.encrypt(crypto::block_from_u64(fp_ctr_++)); }
+  /// Fingerprints are AES-CTR outputs consumed in strict counter order; the
+  /// forward pass draws one per category-iv gate every cycle, so they are
+  /// generated a pipelined batch at a time (same sequence as scalar calls).
+  Block fresh_fp() {
+    if (fp_pos_ == kFpBatch) {
+      for (std::size_t i = 0; i < kFpBatch; ++i) {
+        fp_buf_[i] = crypto::block_from_u64(fp_ctr_++);
+      }
+      fp_gen_.encrypt_batch(fp_buf_.data(), kFpBatch);
+      fp_pos_ = 0;
+    }
+    return fp_buf_[fp_pos_++];
+  }
 
   /// Binds one secret source bit owned by `owner` with plaintext value `v`:
   /// creates the fingerprint and labels and transfers Bob's label (directly
@@ -620,8 +633,11 @@ class Engine {
   std::vector<std::uint8_t> emit_;
   std::vector<WireId> pass_src_;
   std::vector<std::uint8_t> needed_;
+  static constexpr std::size_t kFpBatch = 8;
   crypto::Aes128 fp_gen_;
   std::uint64_t fp_ctr_ = 0;
+  std::array<Block, kFpBatch> fp_buf_{};
+  std::size_t fp_pos_ = kFpBatch;
   std::size_t non_free_per_cycle_ = 0;
 
   // Garbler (Alice) label state.

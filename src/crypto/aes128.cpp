@@ -1,6 +1,9 @@
 #include "crypto/aes128.h"
 
 #include <array>
+#include <cstdlib>
+
+#include "crypto/aesni_impl.h"
 
 namespace arm2gc::crypto {
 namespace {
@@ -92,7 +95,25 @@ void store_be(std::uint8_t* p, std::uint32_t w) {
 
 }  // namespace
 
-Aes128::Aes128(Block key) {
+bool Aes128::aesni_available() {
+  static const bool avail = [] {
+    if (!detail::aesni_compiled_in()) return false;
+    // Any value except "" and "0" disables ("0" must not mean disabled).
+    const char* disable = std::getenv("ARM2GC_DISABLE_AESNI");
+    if (disable != nullptr && disable[0] != '\0' &&
+        !(disable[0] == '0' && disable[1] == '\0')) {
+      return false;
+    }
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("aes") != 0;
+#else
+    return false;
+#endif
+  }();
+  return avail;
+}
+
+Aes128::Aes128(Block key, Backend backend) {
   std::uint8_t kb[16];
   key.to_bytes(kb);
   for (int i = 0; i < 4; ++i) round_keys_[static_cast<std::size_t>(i)] = load_be(kb + 4 * i);
@@ -105,9 +126,30 @@ Aes128::Aes128(Block key) {
     }
     round_keys_[static_cast<std::size_t>(i)] = round_keys_[static_cast<std::size_t>(i - 4)] ^ tmp;
   }
+  // Mirror the schedule in FIPS byte order for the vector backend.
+  for (int i = 0; i < 44; ++i) {
+    store_be(round_key_bytes_.data() + 4 * i, round_keys_[static_cast<std::size_t>(i)]);
+  }
+  use_aesni_ = backend != Backend::Portable && aesni_available();
 }
 
 Block Aes128::encrypt(Block plaintext) const {
+  if (use_aesni_) {
+    detail::aesni_encrypt_batch(round_key_bytes_.data(), &plaintext, 1);
+    return plaintext;
+  }
+  return encrypt_portable(plaintext);
+}
+
+void Aes128::encrypt_batch(Block* io, std::size_t n) const {
+  if (use_aesni_) {
+    detail::aesni_encrypt_batch(round_key_bytes_.data(), io, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) io[i] = encrypt_portable(io[i]);
+}
+
+Block Aes128::encrypt_portable(Block plaintext) const {
   const auto& tb = tables();
   std::uint8_t in[16];
   plaintext.to_bytes(in);

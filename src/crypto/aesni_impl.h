@@ -1,0 +1,23 @@
+// Internal seam between aes128.cpp (backend dispatch) and aesni.cpp (the only
+// translation unit built with -maes). Keeping the intrinsics behind a plain
+// function pointer boundary lets the rest of the library build for any target.
+// Not part of the public API; include only from src/crypto.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/block.h"
+
+namespace arm2gc::crypto::detail {
+
+/// False when the library was built without the AES-NI translation unit
+/// (non-x86 targets), regardless of what the CPU reports.
+bool aesni_compiled_in();
+
+/// Encrypts `n` blocks in place with AES-NI. `round_key_bytes` holds the 11
+/// round keys in FIPS byte order, 16 bytes each. Must only be called when
+/// Aes128::aesni_available() is true.
+void aesni_encrypt_batch(const std::uint8_t* round_key_bytes, Block* io, std::size_t n);
+
+}  // namespace arm2gc::crypto::detail

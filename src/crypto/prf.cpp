@@ -7,11 +7,29 @@ namespace {
 constexpr Block kFixedKey{0x1032547698badcfeULL, 0xefcdab8967452301ULL};
 }  // namespace
 
-GarbleHash::GarbleHash() : pi_(kFixedKey) {}
+PiHash::PiHash() : pi_(kFixedKey) {}
 
-Block GarbleHash::operator()(Block label, std::uint64_t tweak) const {
+PiHash::PiHash(Aes128::Backend backend) : pi_(kFixedKey, backend) {}
+
+Block PiHash::operator()(Block label, std::uint64_t tweak) const {
   const Block k = label.gf_double() ^ block_from_u64(tweak);
   return pi_.encrypt(k) ^ k;
+}
+
+void PiHash::hash2(const Block in[2], const std::uint64_t tweak[2], Block out[2]) const {
+  Block k[2];
+  Block c[2];
+  for (int i = 0; i < 2; ++i) c[i] = k[i] = in[i].gf_double() ^ block_from_u64(tweak[i]);
+  pi_.encrypt_batch(c, 2);
+  for (int i = 0; i < 2; ++i) out[i] = c[i] ^ k[i];
+}
+
+void PiHash::hash4(const Block in[4], const std::uint64_t tweak[4], Block out[4]) const {
+  Block k[4];
+  Block c[4];
+  for (int i = 0; i < 4; ++i) c[i] = k[i] = in[i].gf_double() ^ block_from_u64(tweak[i]);
+  pi_.encrypt_batch(c, 4);
+  for (int i = 0; i < 4; ++i) out[i] = c[i] ^ k[i];
 }
 
 }  // namespace arm2gc::crypto

@@ -13,15 +13,37 @@ namespace arm2gc::crypto {
 
 /// Correlation-robust hash for garbling. Stateless and thread-compatible; the
 /// fixed AES key is baked in at construction.
-class GarbleHash {
+///
+/// The batched entry points (`hash2`, `hash4`) hash independent
+/// (label, tweak) pairs through one pipelined pass over the AES backend and
+/// are bit-identical to the corresponding scalar calls — half-gates garbling
+/// does 4 independent hashes per gate and evaluation does 2, so these are the
+/// protocol's natural batch widths.
+class PiHash {
  public:
-  GarbleHash();
+  PiHash();
+
+  /// Selects the AES backend explicitly (cross-checks and benchmarks);
+  /// the default constructor uses runtime dispatch.
+  explicit PiHash(Aes128::Backend backend);
 
   /// H(label, tweak): tweak must be unique per (gate, row-half) use.
   [[nodiscard]] Block operator()(Block label, std::uint64_t tweak) const;
 
+  /// Hashes 2 independent (label, tweak) pairs. `out` may alias `in`.
+  void hash2(const Block in[2], const std::uint64_t tweak[2], Block out[2]) const;
+
+  /// Hashes 4 independent (label, tweak) pairs. `out` may alias `in`.
+  void hash4(const Block in[4], const std::uint64_t tweak[4], Block out[4]) const;
+
+  /// True iff the underlying cipher dispatches to AES-NI.
+  [[nodiscard]] bool uses_aesni() const { return pi_.uses_aesni(); }
+
  private:
   Aes128 pi_;
 };
+
+/// Historical name from the seed implementation.
+using GarbleHash = PiHash;
 
 }  // namespace arm2gc::crypto

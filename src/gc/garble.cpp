@@ -39,13 +39,19 @@ Block Garbler::half_gates(Block a0, Block b0, GarbledTable& table) {
   const std::uint64_t j0 = tweak_++;
   const std::uint64_t j1 = tweak_++;
 
-  const Block ha0 = hash_(a0, j0);
-  const Block ha1 = hash_(a0 ^ r_, j0);
+  // The generator and evaluator half-gates need 4 independent hashes; one
+  // batched call keeps all of them in the AES pipeline at once.
+  const Block in[4] = {a0, a0 ^ r_, b0, b0 ^ r_};
+  const std::uint64_t tw[4] = {j0, j0, j1, j1};
+  Block h[4];
+  hash_.hash4(in, tw, h);
+  const Block ha0 = h[0];
+  const Block ha1 = h[1];
   const Block tg = ha0 ^ ha1 ^ maybe(r_, pb);
   const Block wg0 = ha0 ^ maybe(tg, pa);
 
-  const Block hb0 = hash_(b0, j1);
-  const Block hb1 = hash_(b0 ^ r_, j1);
+  const Block hb0 = h[2];
+  const Block hb1 = h[3];
   const Block te = hb0 ^ hb1 ^ a0;
   const Block we0 = hb0 ^ maybe(te ^ a0, pb);
 
@@ -61,8 +67,12 @@ Block Garbler::classic(Block a0, Block b0, GarbledTable& table, bool grr3) {
   const std::uint64_t j0 = tweak_++;
   const std::uint64_t j1 = tweak_++;
 
-  const Block ha[2] = {hash_(a0, j0), hash_(a0 ^ r_, j0)};
-  const Block hb[2] = {hash_(b0, j1), hash_(b0 ^ r_, j1)};
+  const Block in[4] = {a0, a0 ^ r_, b0, b0 ^ r_};
+  const std::uint64_t tw[4] = {j0, j0, j1, j1};
+  Block h[4];
+  hash_.hash4(in, tw, h);
+  const Block ha[2] = {h[0], h[1]};
+  const Block hb[2] = {h[2], h[3]};
 
   Block w0;
   if (grr3) {
@@ -111,8 +121,12 @@ Block Evaluator::eval_half_gates(Block a, Block b, const GarbledTable& table) {
   const std::uint64_t j1 = tweak_++;
   const Block tg = table.rows[0];
   const Block te = table.rows[1];
-  const Block wg = hash_(a, j0) ^ maybe(tg, a.lsb());
-  const Block we = hash_(b, j1) ^ maybe(te ^ a, b.lsb());
+  const Block in[2] = {a, b};
+  const std::uint64_t tw[2] = {j0, j1};
+  Block h[2];
+  hash_.hash2(in, tw, h);
+  const Block wg = h[0] ^ maybe(tg, a.lsb());
+  const Block we = h[1] ^ maybe(te ^ a, b.lsb());
   return wg ^ we;
 }
 
@@ -120,7 +134,11 @@ Block Evaluator::eval_classic(Block a, Block b, const GarbledTable& table, bool 
   const std::uint64_t j0 = tweak_++;
   const std::uint64_t j1 = tweak_++;
   const int slot = (static_cast<int>(a.lsb()) << 1) | static_cast<int>(b.lsb());
-  const Block pad = hash_(a, j0) ^ hash_(b, j1);
+  const Block in[2] = {a, b};
+  const std::uint64_t tw[2] = {j0, j1};
+  Block h[2];
+  hash_.hash2(in, tw, h);
+  const Block pad = h[0] ^ h[1];
   if (grr3) {
     if (slot == 0) return pad;
     return pad ^ table.rows[static_cast<std::size_t>(slot - 1)];

@@ -64,7 +64,7 @@ class Garbler {
   Block half_gates(Block a0, Block b0, GarbledTable& table);
   Block classic(Block a0, Block b0, GarbledTable& table, bool grr3);
 
-  crypto::GarbleHash hash_;
+  crypto::PiHash hash_;
   crypto::CtrRng rng_;
   Block r_;
   Scheme scheme_;
@@ -86,7 +86,7 @@ class Evaluator {
   Block eval_half_gates(Block a, Block b, const GarbledTable& table);
   Block eval_classic(Block a, Block b, const GarbledTable& table, bool grr3);
 
-  crypto::GarbleHash hash_;
+  crypto::PiHash hash_;
   Scheme scheme_;
   std::uint64_t gate_counter_ = 0;
   std::uint64_t tweak_ = 0;

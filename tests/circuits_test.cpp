@@ -124,8 +124,12 @@ TEST(TgCircuits, HammingMatchesReference) {
     EXPECT_EQ(conv.results[0], static_cast<std::uint64_t>(expect));
     // Counter width w: (w-1) ANDs per cycle, as in TinyGarble's numbers
     // (Hamming 32 -> 160, Hamming 160 -> 1120 w/o SkipGate).
-    if (nbits == 32) EXPECT_EQ(conv.stats.garbled_non_xor, 160u);
-    if (nbits == 160) EXPECT_EQ(conv.stats.garbled_non_xor, 1120u);
+    if (nbits == 32) {
+      EXPECT_EQ(conv.stats.garbled_non_xor, 160u);
+    }
+    if (nbits == 160) {
+      EXPECT_EQ(conv.stats.garbled_non_xor, 1120u);
+    }
     EXPECT_LT(skip.stats.garbled_non_xor, conv.stats.garbled_non_xor);
   }
 }

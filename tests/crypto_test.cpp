@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "crypto/aes128.h"
 #include "crypto/block.h"
 #include "crypto/prf.h"
@@ -72,6 +75,119 @@ TEST(Aes128, Fips197Vector) {
 TEST(Aes128, DistinctPlaintextsDistinctCiphertexts) {
   const Aes128 aes(block_from_u64(42));
   EXPECT_FALSE(aes.encrypt(block_from_u64(0)) == aes.encrypt(block_from_u64(1)));
+}
+
+// --- AES backend cross-checks (portable vs AES-NI, scalar vs batched) --------
+
+TEST(Aes128, Fips197VectorOnEveryBackend) {
+  // FIPS-197 Appendix C.1, asserted against each backend explicitly so a
+  // broken AES-NI path cannot hide behind runtime dispatch.
+  const std::uint8_t key_bytes[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                      0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const std::uint8_t pt_bytes[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                                     0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const std::uint8_t ct_bytes[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                                     0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  const Block key = Block::from_bytes(key_bytes);
+  const Block pt = Block::from_bytes(pt_bytes);
+  const Block ct = Block::from_bytes(ct_bytes);
+
+  const Aes128 portable(key, Aes128::Backend::Portable);
+  EXPECT_FALSE(portable.uses_aesni());
+  EXPECT_EQ(portable.encrypt(pt), ct);
+
+  const Aes128 ni(key, Aes128::Backend::AesNi);
+  EXPECT_EQ(ni.uses_aesni(), Aes128::aesni_available());
+  EXPECT_EQ(ni.encrypt(pt), ct);
+
+  const Aes128 dispatched(key);  // Backend::Auto
+  EXPECT_EQ(dispatched.uses_aesni(), Aes128::aesni_available());
+  EXPECT_EQ(dispatched.encrypt(pt), ct);
+}
+
+TEST(Aes128, AesNiMatchesPortableRandomized) {
+  CtrRng rng(block_from_u64(0xbacc));
+  for (int k = 0; k < 32; ++k) {
+    const Block key = rng.next_block();
+    const Aes128 portable(key, Aes128::Backend::Portable);
+    const Aes128 ni(key, Aes128::Backend::AesNi);
+    for (int i = 0; i < 16; ++i) {
+      const Block pt = rng.next_block();
+      EXPECT_EQ(ni.encrypt(pt), portable.encrypt(pt));
+    }
+  }
+}
+
+TEST(Aes128, BatchMatchesScalarAtEveryWidth) {
+  // Widths straddle the 8-wide and 4-wide pipeline groups plus the tail loop.
+  CtrRng rng(block_from_u64(0xb47c8));
+  const Block key = rng.next_block();
+  for (const Aes128::Backend backend : {Aes128::Backend::Portable, Aes128::Backend::AesNi}) {
+    const Aes128 aes(key, backend);
+    for (std::size_t n = 0; n <= 21; ++n) {
+      std::vector<Block> batch(n);
+      std::vector<Block> expect(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch[i] = rng.next_block();
+        expect[i] = aes.encrypt(batch[i]);
+      }
+      aes.encrypt_batch(batch.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(batch[i], expect[i]) << "backend=" << static_cast<int>(backend)
+                                       << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(PiHash, BatchedHashesMatchScalarForAllTweaks) {
+  using arm2gc::crypto::PiHash;
+  CtrRng rng(block_from_u64(0x9a5b));
+  // Edge tweaks plus random ones; every pair/quad mixes them.
+  const std::uint64_t tweaks[] = {0,
+                                  1,
+                                  2,
+                                  0xffffffffffffffffULL,
+                                  0x8000000000000000ULL,
+                                  rng.next_u64(),
+                                  rng.next_u64(),
+                                  rng.next_u64()};
+  for (const auto backend : {Aes128::Backend::Portable, Aes128::Backend::AesNi}) {
+    const PiHash h(backend);
+    for (int iter = 0; iter < 64; ++iter) {
+      Block in4[4];
+      std::uint64_t tw4[4];
+      for (int i = 0; i < 4; ++i) {
+        in4[i] = rng.next_block();
+        tw4[i] = tweaks[rng.next_below(8)];
+      }
+      Block out4[4];
+      h.hash4(in4, tw4, out4);
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(out4[i], h(in4[i], tw4[i]));
+
+      Block out2[2];
+      h.hash2(in4, tw4, out2);
+      EXPECT_EQ(out2[0], h(in4[0], tw4[0]));
+      EXPECT_EQ(out2[1], h(in4[1], tw4[1]));
+
+      // In-place batched hashing (out aliases in) must also match.
+      Block alias[4] = {in4[0], in4[1], in4[2], in4[3]};
+      h.hash4(alias, tw4, alias);
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(alias[i], out4[i]);
+    }
+  }
+}
+
+TEST(PiHash, BackendsProduceIdenticalHashes) {
+  using arm2gc::crypto::PiHash;
+  const PiHash portable(Aes128::Backend::Portable);
+  const PiHash ni(Aes128::Backend::AesNi);
+  CtrRng rng(block_from_u64(0x715a));
+  for (int i = 0; i < 256; ++i) {
+    const Block x = rng.next_block();
+    const std::uint64_t t = rng.next_u64();
+    EXPECT_EQ(portable(x, t), ni(x, t));
+  }
 }
 
 TEST(GarbleHash, DeterministicAndTweakSensitive) {

@@ -3,6 +3,7 @@
 #include "crypto/block.h"
 #include "gc/channel.h"
 #include "gc/garble.h"
+#include "gc/golden_digest.h"
 #include "gc/ot.h"
 #include "netlist/gate.h"
 
@@ -119,6 +120,27 @@ TEST(Ot, DeliversChosenLabelAndAccounts) {
   sender.send(x0, x1, true);
   EXPECT_EQ(receiver.receive(), x1);
   EXPECT_EQ(ch.stats().ot_bytes, 2 * kOtBytesPerChoice);
+}
+
+// Pins the exact garbled-table bytes produced by the pre-AES-NI seed
+// implementation (captured with tools/golden_capture.cpp at the portable,
+// one-hash-at-a-time revision). Any backend or batching change that alters a
+// single ciphertext bit fails here, on every machine and either AES backend.
+// The digest computation is shared with the capture tool (gc/golden_digest.h).
+TEST(Garble, GoldenTableDigestsStableAcrossBackends) {
+  struct GoldenCase {
+    Scheme scheme;
+    const char* digest;
+  };
+  const GoldenCase cases[] = {
+      {Scheme::HalfGates, "9dbcdbc3bf700c2b83007da5d07655ad"},
+      {Scheme::Grr3, "7b828da9d4a0bbcea0995baf5f340f31"},
+      {Scheme::Classic4, "1f0ef1f72151a3fd21be9e71edf3597e"},
+  };
+  for (const GoldenCase& c : cases) {
+    EXPECT_EQ(golden_table_digest(c.scheme), c.digest)
+        << "scheme=" << static_cast<int>(c.scheme);
+  }
 }
 
 TEST(Garble, DistinctSeedsDistinctLabels) {

@@ -91,8 +91,12 @@ TEST(Programs, HammingMatchesAndIsCheap) {
     // Paper Table 2 reports 57 (32-bit) / 247 (160-bit) with a tree method;
     // the SWAR code lands in the same regime, far below TinyGarble's serial
     // counter circuit (145 / 1092).
-    if (nwords == 1) EXPECT_LE(r.stats.garbled_non_xor, 100u);
-    if (nwords == 5) EXPECT_LE(r.stats.garbled_non_xor, 500u);
+    if (nwords == 1) {
+      EXPECT_LE(r.stats.garbled_non_xor, 100u);
+    }
+    if (nwords == 5) {
+      EXPECT_LE(r.stats.garbled_non_xor, 500u);
+    }
   }
 }
 
