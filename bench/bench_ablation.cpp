@@ -82,7 +82,8 @@ int main() {
     const auto r = machine.run(a, b);
     const auto dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     const std::uint64_t wo = machine.conventional_non_xor(r.cycles);
-    std::printf("cycles %s, planner+garble wall time %.3fs\n", num(r.cycles).c_str(), dt);
+    std::printf("cycles %s, planner+garble wall time %.3fs  (%s)\n", num(r.cycles).c_str(), dt,
+                benchutil::stats_brief(r.stats).c_str());
     std::printf("communication: %s garbled tables (vs %s conventional) -> %s bytes total\n",
                 num(r.stats.garbled_non_xor).c_str(), num(wo).c_str(),
                 num(r.stats.comm.total()).c_str());

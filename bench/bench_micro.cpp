@@ -11,13 +11,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <vector>
 
+#include "arm/arm2gc.h"
 #include "builder/circuit_builder.h"
 #include "builder/stdlib.h"
 #include "core/skipgate.h"
 #include "crypto/aes128.h"
 #include "crypto/prf.h"
 #include "gc/garble.h"
+#include "programs/programs.h"
 
 using namespace arm2gc;
 
@@ -152,5 +155,83 @@ static void BM_ProtocolMul32(benchmark::State& state) {
   state.SetLabel(state.range(0) == 0 ? "skipgate" : "conventional");
 }
 BENCHMARK(BM_ProtocolMul32)->Arg(0)->Arg(1);
+
+namespace {
+
+/// Full ARM2GC protocol run (SkipGate, halt-driven), parameterized by plan
+/// cache (arg0) and transport (arg1) — the per-cycle plan cache skips
+/// classification on revisited public control states, and the threaded pipe
+/// overlaps garbling with evaluation. Labels: "cache=0/1 pipe=0/1".
+void protocol_arm(benchmark::State& state, const programs::Program& prog,
+                  std::vector<std::uint32_t> a, std::vector<std::uint32_t> b) {
+  const arm::Arm2Gc machine(prog.cfg, prog.words);
+  core::ExecOptions exec;
+  exec.plan_cache = state.range(0) != 0;
+  exec.transport = state.range(1) != 0 ? core::TransportKind::ThreadedPipe
+                                       : core::TransportKind::InMemory;
+  std::uint64_t cycles = 0;
+  double hit_ratio = 0.0;
+  for (auto _ : state) {
+    const arm::Arm2GcResult r = machine.run(a, b, 1u << 20, gc::Scheme::HalfGates, exec);
+    benchmark::DoNotOptimize(r.outputs.data());
+    cycles = r.cycles;
+    hit_ratio = r.stats.plan_cache_hit_ratio();
+  }
+  state.SetLabel(std::string("cache=") + (state.range(0) ? "1" : "0") +
+                 " pipe=" + (state.range(1) ? "1" : "0"));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cycles));
+  state.counters["cycles"] = static_cast<double>(cycles);
+  state.counters["cache_hit_ratio"] = hit_ratio;
+}
+
+}  // namespace
+
+static void BM_ProtocolArmSum32(benchmark::State& state) {
+  protocol_arm(state, programs::sum(1), {0xDEADBEEFu}, {0x12345679u});
+}
+BENCHMARK(BM_ProtocolArmSum32)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_ProtocolArmHamming160(benchmark::State& state) {
+  protocol_arm(state, programs::hamming(5), {1, 2, 3, 4, 5}, {6, 7, 8, 9, 10});
+}
+BENCHMARK(BM_ProtocolArmHamming160)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// The serving scenario: one Arm2Gc::Session executes the same public
+/// program on fresh private inputs every iteration, so the per-party plan
+/// caches stay warm and every run after the first skips classification.
+/// arg0: transport (0 = in-memory, 1 = threaded pipe).
+static void BM_ProtocolArmSessionHamming160(benchmark::State& state) {
+  const programs::Program prog = programs::hamming(5);
+  const arm::Arm2Gc machine(prog.cfg, prog.words);
+  core::ExecOptions exec;
+  exec.transport = state.range(0) != 0 ? core::TransportKind::ThreadedPipe
+                                       : core::TransportKind::InMemory;
+  arm::Arm2Gc::Session session(machine, exec);
+  std::vector<std::uint32_t> a = {1, 2, 3, 4, 5};
+  const std::vector<std::uint32_t> b = {6, 7, 8, 9, 10};
+  double hit_ratio = 0.0;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    a[0]++;  // fresh private input each run; the public trajectory repeats
+    const arm::Arm2GcResult r = session.run(a, b);
+    benchmark::DoNotOptimize(r.outputs.data());
+    hit_ratio = r.stats.plan_cache_hit_ratio();
+    cycles = r.cycles;
+  }
+  state.SetLabel(state.range(0) ? "session pipe=1" : "session pipe=0");
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cycles));
+  state.counters["cache_hit_ratio"] = hit_ratio;
+}
+BENCHMARK(BM_ProtocolArmSessionHamming160)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

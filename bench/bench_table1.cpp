@@ -23,15 +23,12 @@ struct PaperRow {
 void run_row(const TgInstance& inst, PaperRow paper) {
   const TgRun conv = run_instance(inst, core::Mode::Conventional);
   const TgRun skip = run_instance(inst, core::Mode::SkipGate);
-  const double improv = conv.stats.garbled_non_xor == 0
-                            ? 0.0
-                            : 100.0 * static_cast<double>(conv.stats.garbled_non_xor -
-                                                          skip.stats.garbled_non_xor) /
-                                  static_cast<double>(conv.stats.garbled_non_xor);
-  std::printf("%-20s paper %10s /%10s   measured %10s /%10s   skipped %8s  improv %6.2f%%\n",
+  std::printf("%-20s paper %10s /%10s   measured %10s /%10s   improv %7s  %s\n",
               inst.name.c_str(), num(paper.without).c_str(), num(paper.with).c_str(),
               num(conv.stats.garbled_non_xor).c_str(), num(skip.stats.garbled_non_xor).c_str(),
-              num(conv.stats.garbled_non_xor - skip.stats.garbled_non_xor).c_str(), improv);
+              benchutil::improv_pct(conv.stats.garbled_non_xor, skip.stats.garbled_non_xor)
+                  .c_str(),
+              benchutil::stats_brief(skip.stats).c_str());
 }
 
 netlist::BitVec rand_bits(crypto::CtrRng& rng, std::size_t n) {

@@ -20,19 +20,21 @@ struct PaperRow {
   std::uint64_t arm;
 };
 
-void print_row(const std::string& name, PaperRow paper, std::uint64_t hdl, std::uint64_t arm) {
+void print_row(const std::string& name, PaperRow paper, std::uint64_t hdl, std::uint64_t arm,
+               const core::RunStats* arm_stats = nullptr) {
   const double overhead = hdl == 0 ? 0.0
                                    : 100.0 * (static_cast<double>(arm) - static_cast<double>(hdl)) /
                                          static_cast<double>(hdl);
-  std::printf("%-20s paper %10s /%10s   measured HDL %10s  ARM2GC %10s  overhead %8.2f%%\n",
+  std::printf("%-20s paper %10s /%10s   measured HDL %10s  ARM2GC %10s  overhead %8s  %s\n",
               name.c_str(), num(paper.tiny).c_str(), num(paper.arm).c_str(), num(hdl).c_str(),
-              num(arm).c_str(), overhead);
+              num(arm).c_str(), benchutil::pct(overhead).c_str(),
+              arm_stats != nullptr ? benchutil::stats_brief(*arm_stats).c_str() : "");
 }
 
-std::uint64_t run_arm(const programs::Program& p, const std::vector<std::uint32_t>& a,
-                      const std::vector<std::uint32_t>& b) {
+core::RunStats run_arm(const programs::Program& p, const std::vector<std::uint32_t>& a,
+                       const std::vector<std::uint32_t>& b) {
   const arm::Arm2Gc machine(p.cfg, p.words);
-  return machine.run(a, b).stats.garbled_non_xor;
+  return machine.run(a, b).stats;
 }
 
 netlist::BitVec words_bits(const std::vector<std::uint32_t>& w) {
@@ -61,31 +63,36 @@ int main() {
     const auto b = rand_words(rng, 1);
     const auto hdl = circuits::run_instance(circuits::tg_sum(32, words_bits(a), words_bits(b)),
                                             core::Mode::SkipGate);
-    print_row("Sum 32", {31, 31}, hdl.stats.garbled_non_xor, run_arm(programs::sum(1), a, b));
+    const auto arm_stats = run_arm(programs::sum(1), a, b);
+    print_row("Sum 32", {31, 31}, hdl.stats.garbled_non_xor, arm_stats.garbled_non_xor,
+              &arm_stats);
   }
   {
     const auto a = rand_words(rng, 32);
     const auto b = rand_words(rng, 32);
     const auto hdl = circuits::run_instance(circuits::tg_sum(1024, words_bits(a), words_bits(b)),
                                             core::Mode::SkipGate);
-    print_row("Sum 1024", {1023, 1023}, hdl.stats.garbled_non_xor,
-              run_arm(programs::sum(32), a, b));
+    const auto arm_stats = run_arm(programs::sum(32), a, b);
+    print_row("Sum 1024", {1023, 1023}, hdl.stats.garbled_non_xor, arm_stats.garbled_non_xor,
+              &arm_stats);
   }
   {
     const auto a = rand_words(rng, 1);
     const auto b = rand_words(rng, 1);
     const auto hdl = circuits::run_instance(
         circuits::tg_compare(32, words_bits(a), words_bits(b)), core::Mode::SkipGate);
-    print_row("Compare 32", {32, 32}, hdl.stats.garbled_non_xor,
-              run_arm(programs::compare(1), a, b));
+    const auto arm_stats = run_arm(programs::compare(1), a, b);
+    print_row("Compare 32", {32, 32}, hdl.stats.garbled_non_xor, arm_stats.garbled_non_xor,
+              &arm_stats);
   }
   {
     const auto a = rand_words(rng, 512);
     const auto b = rand_words(rng, 512);
     const auto hdl = circuits::run_instance(
         circuits::tg_compare(16384, words_bits(a), words_bits(b)), core::Mode::SkipGate);
+    const auto arm_stats = run_arm(programs::compare(512), a, b);
     print_row("Compare 16384", {16384, 16384}, hdl.stats.garbled_non_xor,
-              run_arm(programs::compare(512), a, b));
+              arm_stats.garbled_non_xor, &arm_stats);
   }
   for (const std::size_t nwords : {1ul, 5ul, 16ul}) {
     const auto a = rand_words(rng, nwords);
@@ -93,17 +100,19 @@ int main() {
     const auto hdl = circuits::run_instance(
         circuits::tg_hamming(32 * nwords, words_bits(a), words_bits(b)), core::Mode::SkipGate);
     static const PaperRow kPaper[] = {{145, 57}, {1092, 247}, {4563, 1012}};
+    const auto arm_stats = run_arm(programs::hamming(nwords), a, b);
     print_row("Hamming " + std::to_string(32 * nwords),
               kPaper[nwords == 1 ? 0 : (nwords == 5 ? 1 : 2)], hdl.stats.garbled_non_xor,
-              run_arm(programs::hamming(nwords), a, b));
+              arm_stats.garbled_non_xor, &arm_stats);
   }
   {
     const auto a = rand_words(rng, 1);
     const auto b = rand_words(rng, 1);
     const auto hdl =
         circuits::run_instance(circuits::tg_mult32(a[0], b[0]), core::Mode::SkipGate);
-    print_row("Mult 32", {2016, 993}, hdl.stats.garbled_non_xor,
-              run_arm(programs::mult32(), a, b));
+    const auto arm_stats = run_arm(programs::mult32(), a, b);
+    print_row("Mult 32", {2016, 993}, hdl.stats.garbled_non_xor, arm_stats.garbled_non_xor,
+              &arm_stats);
   }
   for (const std::size_t n : {3ul, 5ul, 8ul}) {
     const auto a = rand_words(rng, n * n);
@@ -111,9 +120,10 @@ int main() {
     const auto hdl =
         circuits::run_instance(circuits::tg_matmult(n, a, b), core::Mode::SkipGate);
     static const PaperRow kPaper[] = {{25668, 27369}, {119350, 127225}, {490048, 522304}};
+    const auto arm_stats = run_arm(programs::matmult(n), a, b);
     print_row("MatrixMult" + std::to_string(n) + "x" + std::to_string(n),
               kPaper[n == 3 ? 0 : (n == 5 ? 1 : 2)], hdl.stats.garbled_non_xor,
-              run_arm(programs::matmult(n), a, b));
+              arm_stats.garbled_non_xor, &arm_stats);
   }
   {
     // SHA3/AES run on the HDL path only: the bitsliced ARM ports are future
@@ -132,7 +142,7 @@ int main() {
     std::printf("\n-- vs garbled MIPS (Wang et al.), Hamming distance of 32 32-bit ints --\n");
     const auto a = rand_words(rng, 32);
     const auto b = rand_words(rng, 32);
-    const std::uint64_t ours = run_arm(programs::hamming(32), a, b);
+    const std::uint64_t ours = run_arm(programs::hamming(32), a, b).garbled_non_xor;
     constexpr std::uint64_t kMips = 481000;  // published
     std::printf("garbled MIPS (published) %s   ARM2GC (paper) 3,073   ARM2GC (ours) %s   "
                 "improvement %.0fx (paper: 156x)\n",

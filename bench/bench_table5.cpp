@@ -24,14 +24,11 @@ void run_row(const programs::Program& p, const std::vector<std::uint32_t>& a,
   const arm::Arm2Gc machine(p.cfg, p.words);
   const auto r = machine.run(a, b);
   const std::uint64_t wo = machine.conventional_non_xor(r.cycles);
-  std::printf("%-18s paper %15s /%10s   ours %15s /%10s   improv %8s  cycles %6s\n",
+  std::printf("%-18s paper %15s /%10s   ours %15s /%10s   improv %8s  cycles %6s  %s\n",
               p.name.c_str(), num(paper_wo).c_str(), num(paper_w).c_str(), num(wo).c_str(),
               num(r.stats.garbled_non_xor).c_str(),
-              benchutil::ratio_k(static_cast<double>(wo) /
-                                 static_cast<double>(std::max<std::uint64_t>(
-                                     r.stats.garbled_non_xor, 1)))
-                  .c_str(),
-              num(r.cycles).c_str());
+              benchutil::improv_ratio(wo, r.stats.garbled_non_xor).c_str(),
+              num(r.cycles).c_str(), benchutil::stats_brief(r.stats).c_str());
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <string>
 
+#include "core/skipgate.h"
+
 namespace benchutil {
 
 inline void header(const std::string& title) {
@@ -39,6 +41,28 @@ inline std::string pct(double v) {
 inline std::string ratio_k(double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.0fx", v);
+  return buf;
+}
+
+/// Percent improvement of `with` over `without` (garbled non-XOR counts).
+inline std::string improv_pct(std::uint64_t without, std::uint64_t with) {
+  return pct(without == 0 ? 0.0
+                          : 100.0 * (static_cast<double>(without) - static_cast<double>(with)) /
+                                static_cast<double>(without));
+}
+
+/// Improvement ratio "Nx" of `with` over `without` (guards division by zero).
+inline std::string improv_ratio(std::uint64_t without, std::uint64_t with) {
+  return ratio_k(static_cast<double>(without) /
+                 static_cast<double>(with == 0 ? std::uint64_t{1} : with));
+}
+
+/// Uniform per-row protocol-stats suffix: SkipGate elision ratio and plan
+/// cache hit rate, straight from RunStats (no per-bench hand computation).
+inline std::string stats_brief(const arm2gc::core::RunStats& s) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "skip %6.2f%%  cache %5.1f%%", 100.0 * s.skip_ratio(),
+                100.0 * s.plan_cache_hit_ratio());
   return buf;
 }
 

@@ -40,12 +40,13 @@ Arm2GcResult decode_run(const core::RunResult& r, std::size_t out_words) {
 
 Arm2GcResult Arm2Gc::run(std::span<const std::uint32_t> alice,
                          std::span<const std::uint32_t> bob, std::uint64_t max_cycles,
-                         gc::Scheme scheme) const {
+                         gc::Scheme scheme, const core::ExecOptions& exec) const {
   core::RunOptions opts;
   opts.mode = core::Mode::SkipGate;
   opts.scheme = scheme;
   opts.halt_wire = cpu_.halt_wire;
   opts.max_cycles = max_cycles;
+  opts.exec = exec;
   core::SkipGateDriver driver(cpu_.nl, opts);
   const core::RunResult r = driver.run(words_to_bits(alice, cfg_.alice_words, "Alice"),
                                        words_to_bits(bob, cfg_.bob_words, "Bob"));
@@ -53,11 +54,12 @@ Arm2GcResult Arm2Gc::run(std::span<const std::uint32_t> alice,
 }
 
 Arm2GcResult Arm2Gc::run_conventional(std::span<const std::uint32_t> alice,
-                                      std::span<const std::uint32_t> bob,
-                                      std::uint64_t cycles) const {
+                                      std::span<const std::uint32_t> bob, std::uint64_t cycles,
+                                      const core::ExecOptions& exec) const {
   core::RunOptions opts;
   opts.mode = core::Mode::Conventional;
   opts.fixed_cycles = cycles;
+  opts.exec = exec;
   core::SkipGateDriver driver(cpu_.nl, opts);
   const core::RunResult r = driver.run(words_to_bits(alice, cfg_.alice_words, "Alice"),
                                        words_to_bits(bob, cfg_.bob_words, "Bob"));
@@ -66,6 +68,22 @@ Arm2GcResult Arm2Gc::run_conventional(std::span<const std::uint32_t> alice,
 
 std::uint64_t Arm2Gc::conventional_non_xor(std::uint64_t cycles) const {
   return cycles * cpu_.nl.count_non_free();
+}
+
+Arm2Gc::Session::Session(const Arm2Gc& machine, core::ExecOptions exec)
+    : machine_(&machine),
+      exec_(exec),
+      garbler_cache_(exec.plan_cache_budget_bytes),
+      evaluator_cache_(exec.plan_cache_budget_bytes) {
+  exec_.plan_cache = true;  // warm caches are the point of a session
+  if (exec_.garbler_plan_cache == nullptr) exec_.garbler_plan_cache = &garbler_cache_;
+  if (exec_.evaluator_plan_cache == nullptr) exec_.evaluator_plan_cache = &evaluator_cache_;
+}
+
+Arm2GcResult Arm2Gc::Session::run(std::span<const std::uint32_t> alice,
+                                  std::span<const std::uint32_t> bob, std::uint64_t max_cycles,
+                                  gc::Scheme scheme) {
+  return machine_->run(alice, bob, max_cycles, scheme, exec_);
 }
 
 Arm2GcResult Arm2Gc::run_reference(std::span<const std::uint32_t> alice,

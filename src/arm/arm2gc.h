@@ -34,18 +34,22 @@ class Arm2Gc {
   /// construction happens once; runs reuse it.
   Arm2Gc(MemoryConfig cfg, std::vector<std::uint32_t> program);
 
-  /// Executes the two-party protocol (SkipGate mode, halt-driven).
+  /// Executes the two-party protocol (SkipGate mode, halt-driven). `exec`
+  /// selects transport and plan-cache tuning; results are identical across
+  /// all tunings, only wall-clock and memory differ.
   [[nodiscard]] Arm2GcResult run(std::span<const std::uint32_t> alice,
                                  std::span<const std::uint32_t> bob,
                                  std::uint64_t max_cycles = 1u << 20,
-                                 gc::Scheme scheme = gc::Scheme::HalfGates) const;
+                                 gc::Scheme scheme = gc::Scheme::HalfGates,
+                                 const core::ExecOptions& exec = {}) const;
 
   /// Executes with conventional GC (every gate garbled) for exactly
   /// `cycles` cycles — the "w/o SkipGate" baseline. Expensive; use small
   /// programs or prefer conventional_non_xor().
   [[nodiscard]] Arm2GcResult run_conventional(std::span<const std::uint32_t> alice,
                                               std::span<const std::uint32_t> bob,
-                                              std::uint64_t cycles) const;
+                                              std::uint64_t cycles,
+                                              const core::ExecOptions& exec = {}) const;
 
   /// Exact non-XOR cost of a conventional garbling of `cycles` cycles
   /// (gate count is cycle-invariant: cycles x non-free gates).
@@ -55,6 +59,31 @@ class Arm2Gc {
   [[nodiscard]] Arm2GcResult run_reference(std::span<const std::uint32_t> alice,
                                            std::span<const std::uint32_t> bob,
                                            std::uint64_t max_cycles = 1u << 20) const;
+
+  /// Long-lived execution session: keeps per-party plan caches warm across
+  /// runs of the same machine. The public signature trajectory of a run
+  /// depends only on the program (secret inputs contribute value-independent
+  /// fingerprint classes), so every run after the first skips classification
+  /// entirely — the serving scenario: one public program, many executions on
+  /// fresh private inputs. Not thread-safe; use one Session per worker.
+  class Session {
+   public:
+    /// `exec` seeds transport/budget tuning; `plan_cache` is forced on, and
+    /// the session's own cache fills each per-party cache pointer the caller
+    /// left null (caller-supplied caches are used as given).
+    explicit Session(const Arm2Gc& machine, core::ExecOptions exec = {});
+
+    [[nodiscard]] Arm2GcResult run(std::span<const std::uint32_t> alice,
+                                   std::span<const std::uint32_t> bob,
+                                   std::uint64_t max_cycles = 1u << 20,
+                                   gc::Scheme scheme = gc::Scheme::HalfGates);
+
+   private:
+    const Arm2Gc* machine_;
+    core::ExecOptions exec_;
+    core::PlanCache garbler_cache_;
+    core::PlanCache evaluator_cache_;
+  };
 
   [[nodiscard]] const CpuNetlist& cpu() const { return cpu_; }
   [[nodiscard]] const std::vector<std::uint32_t>& program() const { return program_; }

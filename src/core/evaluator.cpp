@@ -1,0 +1,202 @@
+#include "core/evaluator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "gc/ot.h"
+
+namespace arm2gc::core {
+
+namespace {
+using crypto::Block;
+using netlist::Dff;
+using netlist::Gate;
+using netlist::Owner;
+using netlist::WireId;
+}  // namespace
+
+EvaluatorSession::EvaluatorSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme,
+                                   gc::Transport& tx)
+    : nl_(nl),
+      mode_(mode),
+      scheme_(scheme),
+      eval_(scheme),
+      tx_(&tx),
+      trace_(std::getenv("A2G_TRACE") != nullptr) {
+  lb_.resize(nl_.num_wires());
+  lb_valid_.assign(nl_.num_wires(), 0);
+  const_lb_[0] = const_lb_[1] = Block{};
+}
+
+void EvaluatorSession::bind_recv(Owner owner, bool choice, Block& lb) {
+  if (owner == Owner::Bob) {
+    gc::OtReceiver receiver(*tx_);
+    lb = receiver.receive(choice);
+  } else {
+    lb = tx_->recv();
+  }
+}
+
+bool EvaluatorSession::bob_bit(std::uint32_t idx, const netlist::BitVec& bob,
+                               const char* what) const {
+  if (idx >= bob.size()) {
+    throw std::out_of_range(std::string("skipgate: missing ") + what + " bit " +
+                            std::to_string(idx));
+  }
+  return bob[idx];
+}
+
+void EvaluatorSession::reset(const netlist::BitVec& bob_bits) {
+  const bool skipgate = mode_ == Mode::SkipGate;
+
+  if (!skipgate) {
+    bind_recv(Owner::Public, false, const_lb_[0]);
+    bind_recv(Owner::Public, false, const_lb_[1]);
+  }
+
+  fixed_lb_.assign(nl_.inputs.size(), Block{});
+  for (std::size_t i = 0; i < nl_.inputs.size(); ++i) {
+    const netlist::Input& in = nl_.inputs[i];
+    if (in.streamed) continue;
+    if (in.owner == Owner::Public && skipgate) continue;
+    const bool choice =
+        in.owner == Owner::Bob && bob_bit(in.bit_index, bob_bits, "fixed input");
+    bind_recv(in.owner, choice, fixed_lb_[i]);
+  }
+
+  dff_lb_.assign(nl_.dffs.size(), Block{});
+  dff_lb_valid_.assign(nl_.dffs.size(), 1);
+  for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
+    const Dff& d = nl_.dffs[i];
+    switch (d.init) {
+      case Dff::Init::Zero:
+      case Dff::Init::One:
+        if (!skipgate) bind_recv(Owner::Public, false, dff_lb_[i]);
+        break;
+      case Dff::Init::AliceBit:
+        bind_recv(Owner::Alice, false, dff_lb_[i]);
+        break;
+      case Dff::Init::BobBit:
+        bind_recv(Owner::Bob, bob_bit(d.init_index, bob_bits, "Bob dff init"), dff_lb_[i]);
+        break;
+    }
+  }
+}
+
+void EvaluatorSession::begin_cycle(const netlist::BitVec& bob_stream) {
+  const bool skipgate = mode_ == Mode::SkipGate;
+  lb_[netlist::kConst0] = const_lb_[0];
+  lb_[netlist::kConst1] = const_lb_[1];
+  lb_valid_[netlist::kConst0] = 1;
+  lb_valid_[netlist::kConst1] = 1;
+
+  for (std::size_t i = 0; i < nl_.inputs.size(); ++i) {
+    const netlist::Input& in = nl_.inputs[i];
+    const WireId w = nl_.input_wire(i);
+    if (!in.streamed) {
+      lb_[w] = fixed_lb_[i];
+      lb_valid_[w] = 1;
+      continue;
+    }
+    if (in.owner == Owner::Public && skipgate) continue;  // public wire, no label
+    const bool choice =
+        in.owner == Owner::Bob && bob_bit(in.bit_index, bob_stream, "streamed input");
+    bind_recv(in.owner, choice, lb_[w]);
+    lb_valid_[w] = 1;
+  }
+
+  for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
+    const WireId w = nl_.dff_wire(i);
+    lb_[w] = dff_lb_[i];
+    lb_valid_[w] = dff_lb_valid_[i];
+  }
+}
+
+void EvaluatorSession::eval_cycle(const CyclePlan& plan, std::uint64_t cycle) {
+  const WireId first_gate = nl_.first_gate_wire();
+  const bool conventional = mode_ == Mode::Conventional;
+  for (std::size_t i = 0; i < plan.num_gates; ++i) {
+    const WireId w = first_gate + static_cast<WireId>(i);
+    if (!conventional && !plan.live[i]) {
+      lb_valid_[w] = 0;
+      continue;
+    }
+    const Gate g = nl_.gates[i];
+    switch (plan.action(i)) {
+      case PlanAct::Public:
+        lb_valid_[w] = 0;
+        break;
+      case PlanAct::PassA:
+        // Free-XOR: inverting a wire does not change the evaluator's label.
+        lb_[w] = lb_[g.a];
+        lb_valid_[w] = lb_valid_[g.a];
+        break;
+      case PlanAct::PassB:
+        lb_[w] = lb_[g.b];
+        lb_valid_[w] = lb_valid_[g.b];
+        break;
+      case PlanAct::PassC0:
+        lb_[w] = lb_[netlist::kConst0];
+        lb_valid_[w] = lb_valid_[netlist::kConst0];
+        break;
+      case PlanAct::PassC1:
+        lb_[w] = lb_[netlist::kConst1];
+        lb_valid_[w] = lb_valid_[netlist::kConst1];
+        break;
+      case PlanAct::PassSrc:
+        lb_[w] = lb_[plan.pass_src[i]];
+        lb_valid_[w] = lb_valid_[plan.pass_src[i]];
+        break;
+      case PlanAct::FreeXor:
+        lb_[w] = lb_[g.a] ^ lb_[g.b];
+        lb_valid_[w] = lb_valid_[g.a] & lb_valid_[g.b];
+        break;
+      case PlanAct::Garble: {
+        if (!plan.emit[i]) {
+          // Paper Alg. 5 line 18: a skipped gate's output is tracked as an
+          // opaque secret; fingerprints already play that role, so no label.
+          lb_valid_[w] = 0;
+          break;
+        }
+        if (!lb_valid_[g.a] || !lb_valid_[g.b]) {
+          throw std::logic_error("skipgate: evaluator missing label for a needed gate");
+        }
+        gc::GarbledTable table;
+        table.count = static_cast<std::uint8_t>(gc::blocks_per_gate(scheme_));
+        tx_->recv(table.rows.data(), table.count);
+        lb_[w] = eval_.eval(lb_[g.a], lb_[g.b], table);
+        lb_valid_[w] = 1;
+        if (trace_) {
+          std::fprintf(stderr, "emit cycle=%llu gate=%zu a=%u b=%u tt=%d\n",
+                       static_cast<unsigned long long>(cycle), i, g.a, g.b,
+                       static_cast<int>(g.tt));
+        }
+        break;
+      }
+    }
+  }
+}
+
+void EvaluatorSession::send_outputs(const CyclePlan& plan) {
+  for (const netlist::OutputPort& o : nl_.outputs) {
+    if (plan.wire_public(o.wire)) continue;
+    if (!lb_valid_[o.wire]) {
+      throw std::logic_error("skipgate: evaluator has no label for an output wire");
+    }
+    tx_->send(lb_[o.wire], gc::Traffic::OutputDecode);
+  }
+}
+
+void EvaluatorSession::latch(const CyclePlan& plan) {
+  for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
+    const Dff& d = nl_.dffs[i];
+    if (!plan.wire_public(d.d)) {
+      dff_lb_[i] = lb_[d.d];
+      dff_lb_valid_[i] = lb_valid_[d.d];
+    }
+  }
+}
+
+}  // namespace arm2gc::core

@@ -1,0 +1,59 @@
+// Evaluator-side (Bob) session: owns Bob's active labels and the evaluation
+// state; consumes the public CyclePlan and the garbler's frames through a
+// gc::Transport. It never sees Alice's inputs or any label pair — its OT
+// choices are the only secrets it contributes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan.h"
+#include "crypto/block.h"
+#include "gc/garble.h"
+#include "gc/transport.h"
+#include "netlist/netlist.h"
+
+namespace arm2gc::core {
+
+class EvaluatorSession {
+ public:
+  EvaluatorSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme, gc::Transport& tx);
+
+  /// Receives labels for constants (Conventional mode), fixed inputs and
+  /// flip-flop initial values; Bob's own bits are fetched by OT choice.
+  void reset(const netlist::BitVec& bob_bits);
+
+  /// Installs root labels for a cycle and receives streamed-input labels.
+  void begin_cycle(const netlist::BitVec& bob_stream);
+
+  /// Runs the evaluator label pass over the plan, consuming garbled tables.
+  /// `cycle` is used for trace output only (A2G_TRACE).
+  void eval_cycle(const CyclePlan& plan, std::uint64_t cycle);
+
+  /// Sends this cycle's secret output labels for decoding.
+  void send_outputs(const CyclePlan& plan);
+
+  /// Carries flip-flop labels into the next cycle.
+  void latch(const CyclePlan& plan);
+
+ private:
+  void bind_recv(netlist::Owner owner, bool choice, crypto::Block& lb);
+  [[nodiscard]] bool bob_bit(std::uint32_t idx, const netlist::BitVec& bob,
+                             const char* what) const;
+
+  const netlist::Netlist& nl_;
+  Mode mode_;
+  gc::Scheme scheme_;
+  gc::Evaluator eval_;
+  gc::Transport* tx_;
+
+  std::vector<crypto::Block> lb_;
+  std::vector<std::uint8_t> lb_valid_;
+  std::vector<crypto::Block> fixed_lb_;
+  std::vector<crypto::Block> dff_lb_;
+  std::vector<std::uint8_t> dff_lb_valid_;
+  crypto::Block const_lb_[2];
+  bool trace_;
+};
+
+}  // namespace arm2gc::core

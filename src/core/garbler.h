@@ -1,0 +1,57 @@
+// Garbler-side (Alice) session: owns the label generator, the free-XOR
+// offset R and every garbler label; consumes the public CyclePlan and talks
+// to the evaluator only through a gc::Transport. It never sees Bob's inputs
+// (Bob's labels go out as OT pairs) and never reads from the planner's
+// fingerprint state — the plan is the entire shared contract.
+#pragma once
+
+#include <vector>
+
+#include "core/plan.h"
+#include "crypto/block.h"
+#include "gc/garble.h"
+#include "gc/transport.h"
+#include "netlist/netlist.h"
+
+namespace arm2gc::core {
+
+class GarblerSession {
+ public:
+  GarblerSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme, crypto::Block seed,
+                 gc::Transport& tx);
+
+  /// Binds labels for constants (Conventional mode), fixed inputs and
+  /// flip-flop initial values; sends the evaluator's labels (directly for
+  /// Alice-known bits, as OT pairs for Bob's bits).
+  void reset(const netlist::BitVec& alice_bits, const netlist::BitVec& pub_bits);
+
+  /// Installs root labels for a cycle and binds streamed inputs.
+  void begin_cycle(const netlist::BitVec& alice_stream, const netlist::BitVec& pub_stream);
+
+  /// Runs the garbler label pass over the plan, sending garbled tables.
+  void garble_cycle(const CyclePlan& plan);
+
+  /// Receives Bob's output labels and decodes this cycle's sampled outputs.
+  [[nodiscard]] netlist::BitVec decode_outputs(const CyclePlan& plan);
+
+  /// Carries flip-flop labels into the next cycle.
+  void latch(const CyclePlan& plan);
+
+ private:
+  void bind_secret(netlist::Owner owner, bool v, crypto::Block& la);
+  [[nodiscard]] bool known_bit(netlist::Owner owner, std::uint32_t idx,
+                               const netlist::BitVec& alice, const netlist::BitVec& pub,
+                               const char* what) const;
+
+  const netlist::Netlist& nl_;
+  Mode mode_;
+  gc::Garbler garbler_;
+  gc::Transport* tx_;
+
+  std::vector<crypto::Block> la_;
+  std::vector<crypto::Block> fixed_la_;
+  std::vector<crypto::Block> dff_la_;
+  crypto::Block const_la_[2];
+};
+
+}  // namespace arm2gc::core

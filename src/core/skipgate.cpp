@@ -1,674 +1,274 @@
 #include "core/skipgate.h"
 
-#include <algorithm>
-#include <array>
-#include <cstdio>
-#include <cstdlib>
+#include <exception>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
-#include "crypto/aes128.h"
-#include "gc/ot.h"
+#include "core/evaluator.h"
+#include "core/garbler.h"
 
 namespace arm2gc::core {
 
 namespace {
 
-using crypto::Block;
-using netlist::Dff;
-using netlist::Gate;
+using netlist::BitVec;
 using netlist::Netlist;
-using netlist::Owner;
-using netlist::WireId;
 
-constexpr Block kZeroBlock{};
-Block maybe(Block b, bool take) { return take ? b : kZeroBlock; }
-
-/// Planner view of one wire for the current cycle.
-struct WireState {
-  bool is_pub = true;
-  bool val = false;   // public value
-  bool flip = false;  // inversion parity of the carried secret combination
-  Block fp{};         // fingerprint of the carried secret combination
-};
-
-WireState pub_state(bool v) {
-  WireState s;
-  s.is_pub = true;
-  s.val = v;
-  return s;
+PlannerOptions planner_options(const RunOptions& o, PlanCache* shared) {
+  PlannerOptions p;
+  p.mode = o.mode;
+  p.seed = o.seed;
+  p.cache = o.exec.plan_cache;
+  p.cache_budget_bytes = o.exec.plan_cache_budget_bytes;
+  p.shared_cache = shared;
+  return p;
 }
 
-// PassC0/PassC1 cover degenerate constant-table gates in Conventional mode,
-// where even a constant must stay a (secret-typed) wire: the gate forwards
-// the global constant wire's label. PassSrc forwards an arbitrary earlier
-// wire recorded in pass_src_ (XOR-cancellation peephole, see forward_pass).
-enum class Act : std::uint8_t { Public, PassA, PassB, FreeXor, Garble, PassC0, PassC1, PassSrc };
-
-/// The whole protocol engine: a deterministic planner (public data only) plus
-/// the garbler-side and evaluator-side label passes over the shared plan.
-class Engine {
- public:
-  Engine(const Netlist& nl, const RunOptions& opts)
-      : nl_(nl),
-        opts_(opts),
-        fp_gen_(opts.seed ^ Block{0xf1f2f3f4f5f6f7f8ULL, 0x0102030405060708ULL}),
-        garbler_(opts.seed, opts.scheme),
-        eval_(opts.scheme) {
-    nl_.validate();
-    const std::size_t nw = nl_.num_wires();
-    st_.resize(nw);
-    la_.resize(nw);
-    lb_.resize(nw);
-    lb_valid_.assign(nw, 0);
-    act_.assign(nl_.gates.size(), static_cast<std::uint8_t>(Act::Public));
-    emit_.assign(nl_.gates.size(), 0);
-    pass_src_.assign(nl_.gates.size(), 0);
-    needed_.assign(nw, 0);
-    non_free_per_cycle_ = nl_.count_non_free();
-    if (opts_.halt_wire && *opts_.halt_wire >= nw) {
-      throw std::invalid_argument("skipgate: halt wire out of range");
+/// The per-cycle termination decision, computed from public data only. Both
+/// parties run it against their own planner; determinism keeps them agreed.
+bool decide_final(const Planner& planner, const RunOptions& opts, bool halt_driven,
+                  std::uint64_t cycle, std::uint64_t cc) {
+  bool is_final = !halt_driven && cycle + 1 == cc;
+  if (opts.halt_wire && opts.mode == Mode::SkipGate) {
+    if (!planner.wire_public(*opts.halt_wire)) {
+      throw std::runtime_error(
+          "skipgate: halt signal became secret (secret program counter); "
+          "run with fixed_cycles instead");
     }
+    if (planner.wire_value(*opts.halt_wire)) is_final = true;
   }
-
-  RunResult run(const netlist::BitVec& alice_bits, const netlist::BitVec& bob_bits,
-                const netlist::BitVec& pub_bits, const StreamProvider* streams) {
-    const bool halt_driven = opts_.halt_wire.has_value() && !opts_.fixed_cycles.has_value();
-    if (halt_driven && opts_.mode == Mode::Conventional) {
-      throw std::invalid_argument(
-          "skipgate: conventional mode cannot observe the halt wire; provide fixed_cycles");
-    }
-    reset(alice_bits, bob_bits, pub_bits);
-
-    RunResult result;
-    const std::uint64_t cc =
-        opts_.fixed_cycles ? *opts_.fixed_cycles : opts_.max_cycles;
-    if (cc == 0) throw std::invalid_argument("skipgate: zero cycles requested");
-
-    for (std::uint64_t cycle = 0; cycle < cc; ++cycle) {
-      begin_cycle(cycle, streams);
-      forward_pass();
-
-      bool is_final = !halt_driven && cycle + 1 == cc;
-      if (opts_.halt_wire && opts_.mode == Mode::SkipGate) {
-        const WireState& h = st_[*opts_.halt_wire];
-        if (!h.is_pub) {
-          throw std::runtime_error(
-              "skipgate: halt signal became secret (secret program counter); "
-              "run with fixed_cycles instead");
-        }
-        if (h.val) is_final = true;
-      }
-      if (halt_driven && !is_final && cycle + 1 == cc) {
-        throw std::runtime_error("skipgate: max_cycles reached without halt");
-      }
-
-      backward_pass(is_final);
-      alice_pass();
-      bob_pass();
-
-      if (nl_.outputs_every_cycle || is_final) {
-        result.sampled_outputs.push_back(decode_outputs());
-      }
-      stats_.cycles++;
-      stats_.non_xor_slots += non_free_per_cycle_;
-
-      if (is_final) {
-        result.final_cycle = cycle;
-        break;
-      }
-      latch_dffs();
-      ch_.compact();
-    }
-
-    stats_.skipped_non_xor = stats_.non_xor_slots - stats_.garbled_non_xor;
-    stats_.comm = ch_.stats();
-    result.stats = stats_;
-    if (!result.sampled_outputs.empty()) result.final_outputs = result.sampled_outputs.back();
-    return result;
+  if (halt_driven && !is_final && cycle + 1 == cc) {
+    throw std::runtime_error("skipgate: max_cycles reached without halt");
   }
+  return is_final;
+}
 
- private:
-  /// Fingerprints are AES-CTR outputs consumed in strict counter order; the
-  /// forward pass draws one per category-iv gate every cycle, so they are
-  /// generated a pipelined batch at a time (same sequence as scalar calls).
-  Block fresh_fp() {
-    if (fp_pos_ == kFpBatch) {
-      for (std::size_t i = 0; i < kFpBatch; ++i) {
-        fp_buf_[i] = crypto::block_from_u64(fp_ctr_++);
-      }
-      fp_gen_.encrypt_batch(fp_buf_.data(), kFpBatch);
-      fp_pos_ = 0;
-    }
-    return fp_buf_[fp_pos_++];
+/// Garbler role for the shared cycle loop below.
+struct GarblerParty {
+  GarblerSession session;
+  const StreamProvider* streams;
+  const BitVec& alice_bits;
+  const BitVec& pub_bits;
+
+  GarblerParty(const Netlist& nl, const RunOptions& opts, gc::Transport& tx,
+               const StreamProvider* s, const BitVec& alice, const BitVec& pub)
+      : session(nl, opts.mode, opts.scheme, opts.seed, tx),
+        streams(s),
+        alice_bits(alice),
+        pub_bits(pub) {}
+
+  void reset() { session.reset(alice_bits, pub_bits); }
+  void begin(std::uint64_t cycle, const BitVec& pub_stream) {
+    BitVec sa;
+    if (streams != nullptr && streams->alice) sa = streams->alice(cycle);
+    session.begin_cycle(sa, pub_stream);
   }
-
-  /// Binds one secret source bit owned by `owner` with plaintext value `v`:
-  /// creates the fingerprint and labels and transfers Bob's label (directly
-  /// for Alice/public-owned bits, via OT for Bob's own bits).
-  void bind_secret(Owner owner, bool v, WireState& s, Block& la, Block& lb) {
-    s.is_pub = false;
-    s.val = false;
-    s.flip = false;
-    s.fp = fresh_fp();
-    la = garbler_.fresh_label();
-    if (owner == Owner::Bob) {
-      gc::OtSender sender(ch_);
-      gc::OtReceiver receiver(ch_);
-      sender.send(la, la ^ garbler_.R(), v);
-      lb = receiver.receive();
-    } else {
-      ch_.send(la ^ maybe(garbler_.R(), v), gc::Traffic::InputLabel);
-      lb = ch_.recv();
-    }
+  void work(const CyclePlan& plan, std::uint64_t) { session.garble_cycle(plan); }
+  void sample(const CyclePlan& plan, RunResult& result) {
+    result.sampled_outputs.push_back(session.decode_outputs(plan));
   }
-
-  bool owner_bit(Owner o, std::uint32_t idx, const netlist::BitVec& a, const netlist::BitVec& b,
-                 const netlist::BitVec& p, const char* what) const {
-    const netlist::BitVec& v = o == Owner::Alice ? a : (o == Owner::Bob ? b : p);
-    if (idx >= v.size()) {
-      throw std::out_of_range(std::string("skipgate: missing ") + what + " bit " +
-                              std::to_string(idx));
-    }
-    return v[idx];
-  }
-
-  void reset(const netlist::BitVec& alice_bits, const netlist::BitVec& bob_bits,
-             const netlist::BitVec& pub_bits) {
-    // Constants.
-    if (opts_.mode == Mode::SkipGate) {
-      const_st_[0] = pub_state(false);
-      const_st_[1] = pub_state(true);
-    } else {
-      // Conventional GC treats even constants as secret wires whose (known)
-      // value selects the transferred label.
-      bind_secret(Owner::Public, false, const_st_[0], const_la_[0], const_lb_[0]);
-      bind_secret(Owner::Public, true, const_st_[1], const_la_[1], const_lb_[1]);
-    }
-
-    // Fixed primary inputs.
-    fixed_st_.assign(nl_.inputs.size(), WireState{});
-    fixed_la_.assign(nl_.inputs.size(), Block{});
-    fixed_lb_.assign(nl_.inputs.size(), Block{});
-    for (std::size_t i = 0; i < nl_.inputs.size(); ++i) {
-      const netlist::Input& in = nl_.inputs[i];
-      if (in.streamed) continue;
-      const bool v = owner_bit(in.owner, in.bit_index, alice_bits, bob_bits, pub_bits,
-                               "fixed input");
-      if (in.owner == Owner::Public && opts_.mode == Mode::SkipGate) {
-        fixed_st_[i] = pub_state(v);
-      } else {
-        bind_secret(in.owner, v, fixed_st_[i], fixed_la_[i], fixed_lb_[i]);
-      }
-    }
-
-    // Flip-flop initial values.
-    dff_st_.assign(nl_.dffs.size(), WireState{});
-    dff_la_.assign(nl_.dffs.size(), Block{});
-    dff_lb_.assign(nl_.dffs.size(), Block{});
-    dff_lb_valid_.assign(nl_.dffs.size(), 1);
-    for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
-      const Dff& d = nl_.dffs[i];
-      switch (d.init) {
-        case Dff::Init::Zero:
-        case Dff::Init::One: {
-          const bool v = d.init == Dff::Init::One;
-          if (opts_.mode == Mode::SkipGate) {
-            dff_st_[i] = pub_state(v);
-          } else {
-            bind_secret(Owner::Public, v, dff_st_[i], dff_la_[i], dff_lb_[i]);
-          }
-          break;
-        }
-        case Dff::Init::AliceBit: {
-          const bool v = owner_bit(Owner::Alice, d.init_index, alice_bits, bob_bits, pub_bits,
-                                   "Alice dff init");
-          bind_secret(Owner::Alice, v, dff_st_[i], dff_la_[i], dff_lb_[i]);
-          break;
-        }
-        case Dff::Init::BobBit: {
-          const bool v = owner_bit(Owner::Bob, d.init_index, alice_bits, bob_bits, pub_bits,
-                                   "Bob dff init");
-          bind_secret(Owner::Bob, v, dff_st_[i], dff_la_[i], dff_lb_[i]);
-          break;
-        }
-      }
-    }
-    stats_ = RunStats{};
-  }
-
-  void begin_cycle(std::uint64_t cycle, const StreamProvider* streams) {
-    st_[netlist::kConst0] = const_st_[0];
-    st_[netlist::kConst1] = const_st_[1];
-    la_[netlist::kConst0] = const_la_[0];
-    la_[netlist::kConst1] = const_la_[1];
-    lb_[netlist::kConst0] = const_lb_[0];
-    lb_[netlist::kConst1] = const_lb_[1];
-    lb_valid_[netlist::kConst0] = 1;
-    lb_valid_[netlist::kConst1] = 1;
-
-    netlist::BitVec sa;
-    netlist::BitVec sb;
-    netlist::BitVec sp;
-    if (streams != nullptr) {
-      if (streams->alice) sa = streams->alice(cycle);
-      if (streams->bob) sb = streams->bob(cycle);
-      if (streams->pub) sp = streams->pub(cycle);
-    }
-
-    for (std::size_t i = 0; i < nl_.inputs.size(); ++i) {
-      const netlist::Input& in = nl_.inputs[i];
-      const WireId w = nl_.input_wire(i);
-      if (!in.streamed) {
-        st_[w] = fixed_st_[i];
-        la_[w] = fixed_la_[i];
-        lb_[w] = fixed_lb_[i];
-        lb_valid_[w] = 1;
-        continue;
-      }
-      const bool v = owner_bit(in.owner, in.bit_index, sa, sb, sp, "streamed input");
-      if (in.owner == Owner::Public && opts_.mode == Mode::SkipGate) {
-        st_[w] = pub_state(v);
-      } else {
-        bind_secret(in.owner, v, st_[w], la_[w], lb_[w]);
-        lb_valid_[w] = 1;
-      }
-    }
-
-    for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
-      const WireId w = nl_.dff_wire(i);
-      st_[w] = dff_st_[i];
-      la_[w] = dff_la_[i];
-      lb_[w] = dff_lb_[i];
-      lb_valid_[w] = dff_lb_valid_[i];
-    }
-  }
-
-  void forward_pass() {
-    const WireId first_gate = nl_.first_gate_wire();
-    const bool skipgate = opts_.mode == Mode::SkipGate;
-    for (std::size_t i = 0; i < nl_.gates.size(); ++i) {
-      const Gate g = nl_.gates[i];
-      const WireState& a = st_[g.a];
-      const WireState& b = st_[g.b];
-      WireState out;
-      Act act;
-
-      if (skipgate && a.is_pub && b.is_pub) {  // category i
-        act = Act::Public;
-        out = pub_state(netlist::tt_eval(g.tt, a.val, b.val));
-      } else if (skipgate && a.is_pub) {  // category ii
-        classify_unary(netlist::tt_restrict_a(g.tt, a.val), b, /*pass_is_a=*/false, act, out);
-      } else if (skipgate && b.is_pub) {  // category ii
-        classify_unary(netlist::tt_restrict_b(g.tt, b.val), a, /*pass_is_a=*/true, act, out);
-      } else if (skipgate && a.fp == b.fp) {  // category iii
-        classify_unary(netlist::tt_restrict_diag(g.tt, a.flip != b.flip), a, /*pass_is_a=*/true,
-                       act, out);
-      } else if (netlist::tt_is_affine(g.tt)) {  // free under free-XOR
-        if (g.tt == netlist::kTtZero || g.tt == netlist::kTtOne) {
-          const bool one = g.tt == netlist::kTtOne;
-          if (skipgate) {
-            act = Act::Public;
-            out = pub_state(one);
-          } else {
-            act = one ? Act::PassC1 : Act::PassC0;
-            out = st_[one ? netlist::kConst1 : netlist::kConst0];
-          }
-        } else if (netlist::tt_ignores_a(g.tt)) {
-          classify_unary(netlist::tt_restrict_a(g.tt, false), b, /*pass_is_a=*/false, act, out);
-        } else if (netlist::tt_ignores_b(g.tt)) {
-          classify_unary(netlist::tt_restrict_b(g.tt, false), a, /*pass_is_a=*/true, act, out);
-        } else {  // XOR / XNOR of two live secrets
-          act = Act::FreeXor;
-          out.is_pub = false;
-          out.fp = a.fp ^ b.fp;
-          out.flip = (a.flip != b.flip) != (g.tt == netlist::kTtXnor);
-          // XOR-cancellation peephole: the 1-AND multiplexer f ^ (s & (t^f))
-          // with a public select degenerates to f ^ (t ^ f) == t. Detecting
-          // that the result carries exactly an existing wire's label (the
-          // paper's "the MUX acts as a wire") releases the unselected side's
-          // label from the needed-cone, so its producing gates are skipped.
-          if (skipgate) {
-            const WireId src = find_cancellation(g.a, g.b, out.fp);
-            if (src != kNoWire) {
-              act = Act::PassSrc;
-              pass_src_[i] = src;
-            }
-          }
-        }
-      } else {  // category iv
-        act = Act::Garble;
-        out.is_pub = false;
-        out.fp = fresh_fp();
-        out.flip = false;
-      }
-      st_[first_gate + i] = out;
-      act_[i] = static_cast<std::uint8_t>(act);
-    }
-  }
-
-  static constexpr WireId kNoWire = 0xffffffffu;
-
-  /// Follows pass-style actions back to the wire whose label a wire carries.
-  [[nodiscard]] WireId resolve_pass(WireId w) const {
-    const WireId first_gate = nl_.first_gate_wire();
-    for (int hops = 0; hops < 64 && w >= first_gate; ++hops) {
-      const std::size_t gi = w - first_gate;
-      switch (static_cast<Act>(act_[gi])) {
-        case Act::PassA: w = nl_.gates[gi].a; break;
-        case Act::PassB: w = nl_.gates[gi].b; break;
-        case Act::PassSrc: w = pass_src_[gi]; break;
-        default: return w;
-      }
-    }
-    return w;
-  }
-
-  /// For a free XOR of wires (wa, wb): if either side resolves to a FreeXor
-  /// gate one of whose operands' fingerprint equals the result fingerprint,
-  /// the other operand cancels and the result is a plain wire. Returns the
-  /// surviving source wire or kNoWire.
-  [[nodiscard]] WireId find_cancellation(WireId wa, WireId wb, const Block& out_fp) const {
-    const WireId first_gate = nl_.first_gate_wire();
-    for (const WireId side : {wa, wb}) {
-      const WireId r = resolve_pass(side);
-      if (r < first_gate) continue;
-      const std::size_t gi = r - first_gate;
-      if (static_cast<Act>(act_[gi]) != Act::FreeXor) continue;
-      const netlist::Gate& g2 = nl_.gates[gi];
-      if (!st_[g2.a].is_pub && st_[g2.a].fp == out_fp) return g2.a;
-      if (!st_[g2.b].is_pub && st_[g2.b].fp == out_fp) return g2.b;
-    }
-    return kNoWire;
-  }
-
-  /// Folds a unary residual function of a surviving secret input into a plan
-  /// action (constant output, wire, or inverter — paper Figures 1 and 2).
-  static void classify_unary(netlist::UnaryTable u, const WireState& in, bool pass_is_a, Act& act,
-                             WireState& out) {
-    if (netlist::unary_is_const(u)) {
-      act = Act::Public;
-      out = pub_state(u == netlist::kUnOne);
-      return;
-    }
-    act = pass_is_a ? Act::PassA : Act::PassB;
-    out = in;
-    if (u == netlist::kUnNot) out.flip = !out.flip;
-  }
-
-  void backward_pass(bool is_final) {
-    if (opts_.mode == Mode::Conventional) {
-      // Conventional GC garbles every non-affine gate unconditionally.
-      for (std::size_t i = 0; i < nl_.gates.size(); ++i) {
-        emit_[i] = act_[i] == static_cast<std::uint8_t>(Act::Garble) ? 1 : 0;
-      }
-      return;
-    }
-
-    std::fill(needed_.begin(), needed_.end(), 0);
-    const bool sample = nl_.outputs_every_cycle || is_final;
-    if (sample) {
-      for (const netlist::OutputPort& o : nl_.outputs) {
-        if (!st_[o.wire].is_pub) needed_[o.wire] = 1;
-      }
-    }
-    if (!is_final) {
-      // Labels entering flip-flops must survive into the next cycle
-      // (paper: "copy flip flops labels"). On the final cycle they are dead,
-      // which is how e.g. the last carry of a serial adder gets skipped.
-      for (const Dff& d : nl_.dffs) {
-        if (!st_[d.d].is_pub) needed_[d.d] = 1;
-      }
-    }
-
-    const WireId first_gate = nl_.first_gate_wire();
-    for (std::size_t i = nl_.gates.size(); i-- > 0;) {
-      const WireId w = first_gate + static_cast<WireId>(i);
-      if (!needed_[w]) {
-        emit_[i] = 0;
-        continue;
-      }
-      const Gate g = nl_.gates[i];
-      switch (static_cast<Act>(act_[i])) {
-        case Act::Public:
-          emit_[i] = 0;
-          break;
-        case Act::PassA:
-          emit_[i] = 0;
-          needed_[g.a] = 1;
-          break;
-        case Act::PassB:
-          emit_[i] = 0;
-          needed_[g.b] = 1;
-          break;
-        case Act::PassC0:
-        case Act::PassC1:
-          emit_[i] = 0;  // constants are always bound; nothing to propagate
-          break;
-        case Act::PassSrc:
-          emit_[i] = 0;
-          needed_[pass_src_[i]] = 1;
-          break;
-        case Act::FreeXor:
-          emit_[i] = 0;
-          needed_[g.a] = 1;
-          needed_[g.b] = 1;
-          break;
-        case Act::Garble:
-          emit_[i] = 1;
-          if (!st_[g.a].is_pub) needed_[g.a] = 1;
-          if (!st_[g.b].is_pub) needed_[g.b] = 1;
-          break;
-      }
-    }
-  }
-
-  void alice_pass() {
-    const WireId first_gate = nl_.first_gate_wire();
-    const Block r = garbler_.R();
-    const bool conventional = opts_.mode == Mode::Conventional;
-    for (std::size_t i = 0; i < nl_.gates.size(); ++i) {
-      const WireId w = first_gate + static_cast<WireId>(i);
-      if (!conventional && !needed_[w] && !emit_[i]) continue;
-      const Gate g = nl_.gates[i];
-      switch (static_cast<Act>(act_[i])) {
-        case Act::Public:
-          break;
-        case Act::PassA:
-          la_[w] = la_[g.a] ^ maybe(r, st_[w].flip != st_[g.a].flip);
-          break;
-        case Act::PassB:
-          la_[w] = la_[g.b] ^ maybe(r, st_[w].flip != st_[g.b].flip);
-          break;
-        case Act::PassC0:
-          la_[w] = la_[netlist::kConst0];
-          break;
-        case Act::PassC1:
-          la_[w] = la_[netlist::kConst1];
-          break;
-        case Act::PassSrc: {
-          const WireId src = pass_src_[i];
-          la_[w] = la_[src] ^ maybe(r, st_[w].flip != st_[src].flip);
-          break;
-        }
-        case Act::FreeXor:
-          la_[w] = la_[g.a] ^ la_[g.b] ^
-                   maybe(r, (st_[w].flip != st_[g.a].flip) != st_[g.b].flip);
-          break;
-        case Act::Garble: {
-          if (!emit_[i]) break;  // dead garbled gate: never built nor sent
-          gc::GarbledTable table;
-          la_[w] = garbler_.garble(la_[g.a], la_[g.b], netlist::tt_and_core(g.tt), table);
-          for (std::uint8_t k = 0; k < table.count; ++k) {
-            ch_.send(table.rows[k], gc::Traffic::GarbledTable);
-          }
-          break;
-        }
-      }
-    }
-  }
-
-  void bob_pass() {
-    const WireId first_gate = nl_.first_gate_wire();
-    const bool conventional = opts_.mode == Mode::Conventional;
-    for (std::size_t i = 0; i < nl_.gates.size(); ++i) {
-      const WireId w = first_gate + static_cast<WireId>(i);
-      if (!conventional && !needed_[w] && !emit_[i]) {
-        lb_valid_[w] = 0;
-        continue;
-      }
-      const Gate g = nl_.gates[i];
-      switch (static_cast<Act>(act_[i])) {
-        case Act::Public:
-          lb_valid_[w] = 0;
-          break;
-        case Act::PassA:
-          // Free-XOR: inverting a wire does not change the evaluator's label.
-          lb_[w] = lb_[g.a];
-          lb_valid_[w] = lb_valid_[g.a];
-          break;
-        case Act::PassB:
-          lb_[w] = lb_[g.b];
-          lb_valid_[w] = lb_valid_[g.b];
-          break;
-        case Act::PassC0:
-          lb_[w] = lb_[netlist::kConst0];
-          lb_valid_[w] = lb_valid_[netlist::kConst0];
-          break;
-        case Act::PassC1:
-          lb_[w] = lb_[netlist::kConst1];
-          lb_valid_[w] = lb_valid_[netlist::kConst1];
-          break;
-        case Act::PassSrc:
-          lb_[w] = lb_[pass_src_[i]];
-          lb_valid_[w] = lb_valid_[pass_src_[i]];
-          break;
-        case Act::FreeXor:
-          lb_[w] = lb_[g.a] ^ lb_[g.b];
-          lb_valid_[w] = lb_valid_[g.a] & lb_valid_[g.b];
-          break;
-        case Act::Garble: {
-          if (!emit_[i]) {
-            // Paper Alg. 5 line 18: a skipped gate's output is tracked as an
-            // opaque secret; fingerprints already play that role, so no label.
-            lb_valid_[w] = 0;
-            break;
-          }
-          if (!lb_valid_[g.a] || !lb_valid_[g.b]) {
-            throw std::logic_error("skipgate: evaluator missing label for a needed gate");
-          }
-          gc::GarbledTable table;
-          table.count = static_cast<std::uint8_t>(gc::blocks_per_gate(opts_.scheme));
-          for (std::uint8_t k = 0; k < table.count; ++k) table.rows[k] = ch_.recv();
-          lb_[w] = eval_.eval(lb_[g.a], lb_[g.b], table);
-          lb_valid_[w] = 1;
-          stats_.garbled_non_xor++;
-          if (trace_) {
-            std::fprintf(stderr, "emit cycle=%llu gate=%zu a=%u b=%u tt=%d\n",
-                         static_cast<unsigned long long>(stats_.cycles), i, g.a, g.b,
-                         static_cast<int>(g.tt));
-          }
-          break;
-        }
-      }
-    }
-  }
-
-  netlist::BitVec decode_outputs() {
-    netlist::BitVec out;
-    out.reserve(nl_.outputs.size());
-    const Block r = garbler_.R();
-    for (const netlist::OutputPort& o : nl_.outputs) {
-      const WireState& s = st_[o.wire];
-      bool bit;
-      if (s.is_pub) {
-        bit = s.val;
-      } else {
-        if (!lb_valid_[o.wire]) {
-          throw std::logic_error("skipgate: evaluator has no label for an output wire");
-        }
-        // Bob sends his output label; Alice decodes it against her pair.
-        ch_.send(lb_[o.wire], gc::Traffic::OutputDecode);
-        const Block xb = ch_.recv();
-        if (xb == la_[o.wire]) {
-          bit = false;
-        } else if (xb == (la_[o.wire] ^ r)) {
-          bit = true;
-        } else {
-          throw std::runtime_error("skipgate: output label does not decode");
-        }
-      }
-      out.push_back(bit != o.invert);
-    }
-    return out;
-  }
-
-  void latch_dffs() {
-    const Block r = garbler_.R();
-    for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
-      const Dff& d = nl_.dffs[i];
-      const WireState& s = st_[d.d];
-      WireState ns = s;
-      if (s.is_pub) {
-        ns.val = s.val != d.d_invert;
-      } else {
-        ns.flip = s.flip != d.d_invert;
-        dff_la_[i] = la_[d.d] ^ maybe(r, d.d_invert);
-        dff_lb_[i] = lb_[d.d];
-        dff_lb_valid_[i] = lb_valid_[d.d];
-      }
-      dff_st_[i] = ns;
-    }
-  }
-
-  const Netlist& nl_;
-  RunOptions opts_;
-
-  // Planner state (public data only).
-  std::vector<WireState> st_;
-  std::vector<WireState> dff_st_;
-  std::vector<WireState> fixed_st_;
-  WireState const_st_[2];
-  std::vector<std::uint8_t> act_;
-  std::vector<std::uint8_t> emit_;
-  std::vector<WireId> pass_src_;
-  std::vector<std::uint8_t> needed_;
-  static constexpr std::size_t kFpBatch = 8;
-  crypto::Aes128 fp_gen_;
-  std::uint64_t fp_ctr_ = 0;
-  std::array<Block, kFpBatch> fp_buf_{};
-  std::size_t fp_pos_ = kFpBatch;
-  std::size_t non_free_per_cycle_ = 0;
-
-  // Garbler (Alice) label state.
-  gc::Garbler garbler_;
-  std::vector<Block> la_;
-  std::vector<Block> dff_la_;
-  std::vector<Block> fixed_la_;
-  Block const_la_[2];
-
-  // Evaluator (Bob) label state.
-  gc::Evaluator eval_;
-  std::vector<Block> lb_;
-  std::vector<std::uint8_t> lb_valid_;
-  std::vector<Block> dff_lb_;
-  std::vector<std::uint8_t> dff_lb_valid_;
-  std::vector<Block> fixed_lb_;
-  Block const_lb_[2];
-
-  gc::Channel ch_;
-  RunStats stats_;
-  bool trace_ = std::getenv("A2G_TRACE") != nullptr;
+  void latch(const CyclePlan& plan) { session.latch(plan); }
 };
+
+/// Evaluator role for the shared cycle loop below.
+struct EvaluatorParty {
+  EvaluatorSession session;
+  const StreamProvider* streams;
+  const BitVec& bob_bits;
+
+  EvaluatorParty(const Netlist& nl, const RunOptions& opts, gc::Transport& tx,
+                 const StreamProvider* s, const BitVec& bob)
+      : session(nl, opts.mode, opts.scheme, tx), streams(s), bob_bits(bob) {}
+
+  void reset() { session.reset(bob_bits); }
+  void begin(std::uint64_t cycle, const BitVec&) {
+    BitVec sb;
+    if (streams != nullptr && streams->bob) sb = streams->bob(cycle);
+    session.begin_cycle(sb);
+  }
+  void work(const CyclePlan& plan, std::uint64_t cycle) { session.eval_cycle(plan, cycle); }
+  void sample(const CyclePlan& plan, RunResult&) { session.send_outputs(plan); }
+  void latch(const CyclePlan& plan) { session.latch(plan); }
+};
+
+/// Both roles interleaved on one thread — the lock-step schedule. The
+/// evaluator sends its output labels before the garbler decodes them.
+struct LockstepParty {
+  GarblerParty garbler;
+  EvaluatorParty evaluator;
+
+  void reset() {
+    garbler.reset();
+    evaluator.reset();
+  }
+  void begin(std::uint64_t cycle, const BitVec& pub_stream) {
+    garbler.begin(cycle, pub_stream);
+    evaluator.begin(cycle, pub_stream);
+  }
+  void work(const CyclePlan& plan, std::uint64_t cycle) {
+    garbler.work(plan, cycle);
+    evaluator.work(plan, cycle);
+  }
+  void sample(const CyclePlan& plan, RunResult& result) {
+    evaluator.sample(plan, result);
+    garbler.sample(plan, result);
+  }
+  void latch(const CyclePlan& plan) {
+    garbler.latch(plan);
+    evaluator.latch(plan);
+  }
+};
+
+/// The per-cycle protocol schedule, identical for every party and transport:
+/// plan (own planner), act, sample, latch. Keeping it in one place means a
+/// schedule change cannot desynchronize one party or one transport only.
+template <typename Party>
+RunResult run_party(const Netlist& nl, const RunOptions& opts, const BitVec& pub_bits,
+                    const StreamProvider* streams, bool halt_driven, std::uint64_t cc,
+                    PlanCache* cache, Party& party) {
+  Planner planner(nl, planner_options(opts, cache));
+  planner.reset(pub_bits);
+  party.reset();
+
+  RunResult result;
+  RunStats stats;
+  for (std::uint64_t cycle = 0; cycle < cc; ++cycle) {
+    BitVec sp;
+    if (streams != nullptr && streams->pub) sp = streams->pub(cycle);
+    planner.begin_cycle(sp);
+    party.begin(cycle, sp);
+
+    planner.forward();
+    const bool is_final = decide_final(planner, opts, halt_driven, cycle, cc);
+    const CyclePlan plan = planner.finish(is_final);
+
+    party.work(plan, cycle);
+    if (plan.sample) party.sample(plan, result);
+    stats.cycles++;
+    stats.non_xor_slots += planner.non_free_per_cycle();
+    stats.garbled_non_xor += plan.emitted;
+
+    if (is_final) {
+      result.final_cycle = cycle;
+      break;
+    }
+    planner.latch(plan);
+    party.latch(plan);
+  }
+
+  stats.skipped_non_xor = stats.non_xor_slots - stats.garbled_non_xor;
+  stats.plan_cache_hits = planner.cache_hits();
+  stats.plan_cache_misses = planner.cache_misses();
+  result.stats = stats;
+  if (!result.sampled_outputs.empty()) result.final_outputs = result.sampled_outputs.back();
+  return result;
+}
+
+RunResult run_lockstep(const Netlist& nl, const RunOptions& opts, const BitVec& alice_bits,
+                       const BitVec& bob_bits, const BitVec& pub_bits,
+                       const StreamProvider* streams, bool halt_driven, std::uint64_t cc) {
+  gc::InMemoryDuplex duplex;
+  LockstepParty party{
+      GarblerParty(nl, opts, duplex.garbler_end(), streams, alice_bits, pub_bits),
+      EvaluatorParty(nl, opts, duplex.evaluator_end(), streams, bob_bits)};
+  RunResult result = run_party(nl, opts, pub_bits, streams, halt_driven, cc,
+                               opts.exec.garbler_plan_cache, party);
+  result.stats.comm = duplex.stats();
+  result.stats.transport_high_water_blocks = duplex.high_water_blocks();
+  return result;
+}
+
+/// True iff the exception is the transport's shutdown signal (raised on a
+/// peer that was unblocked by close()), which only ever masks the real error.
+bool is_transport_closed(const std::exception_ptr& p) {
+  try {
+    std::rethrow_exception(p);
+  } catch (const gc::TransportClosed&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+RunResult run_threaded(const Netlist& nl, const RunOptions& opts, const BitVec& alice_bits,
+                       const BitVec& bob_bits, const BitVec& pub_bits,
+                       const StreamProvider* streams, bool halt_driven, std::uint64_t cc) {
+  gc::ThreadedPipeDuplex duplex(opts.exec.pipe_blocks);
+  RunResult result;
+  std::exception_ptr garbler_error;
+  std::exception_ptr evaluator_error;
+
+  // Garbler party on a worker thread: it runs ahead of the evaluator until
+  // the pipe's backpressure stalls it; output decoding is the only point
+  // where it waits for the evaluator.
+  std::thread garbler_thread([&] {
+    try {
+      GarblerParty party(nl, opts, duplex.garbler_end(), streams, alice_bits, pub_bits);
+      result = run_party(nl, opts, pub_bits, streams, halt_driven, cc,
+                         opts.exec.garbler_plan_cache, party);
+    } catch (...) {
+      garbler_error = std::current_exception();
+      duplex.close();
+    }
+  });
+
+  // Evaluator party on the calling thread, with its own planner making the
+  // same deterministic decisions.
+  try {
+    EvaluatorParty party(nl, opts, duplex.evaluator_end(), streams, bob_bits);
+    (void)run_party(nl, opts, pub_bits, streams, halt_driven, cc,
+                    opts.exec.evaluator_plan_cache, party);
+  } catch (...) {
+    evaluator_error = std::current_exception();
+    duplex.close();
+  }
+  garbler_thread.join();
+
+  if (garbler_error || evaluator_error) {
+    // Both parties compute termination errors deterministically; a
+    // "transport: closed" error is only ever the echo of the peer's failure.
+    if (garbler_error && evaluator_error) {
+      std::rethrow_exception(is_transport_closed(garbler_error) &&
+                                     !is_transport_closed(evaluator_error)
+                                 ? evaluator_error
+                                 : garbler_error);
+    }
+    std::rethrow_exception(garbler_error ? garbler_error : evaluator_error);
+  }
+
+  result.stats.comm = duplex.stats();
+  result.stats.transport_high_water_blocks = duplex.high_water_blocks();
+  return result;
+}
 
 }  // namespace
 
 SkipGateDriver::SkipGateDriver(const Netlist& nl, RunOptions opts) : nl_(nl), opts_(opts) {}
 
-RunResult SkipGateDriver::run(const netlist::BitVec& alice_bits, const netlist::BitVec& bob_bits,
-                              const netlist::BitVec& pub_bits, const StreamProvider* streams) {
-  Engine engine(nl_, opts_);
-  return engine.run(alice_bits, bob_bits, pub_bits, streams);
+RunResult SkipGateDriver::run(const BitVec& alice_bits, const BitVec& bob_bits,
+                              const BitVec& pub_bits, const StreamProvider* streams) {
+  if (opts_.halt_wire && *opts_.halt_wire >= nl_.num_wires()) {
+    throw std::invalid_argument("skipgate: halt wire out of range");
+  }
+  const bool halt_driven = opts_.halt_wire.has_value() && !opts_.fixed_cycles.has_value();
+  if (halt_driven && opts_.mode == Mode::Conventional) {
+    throw std::invalid_argument(
+        "skipgate: conventional mode cannot observe the halt wire; provide fixed_cycles");
+  }
+  const std::uint64_t cc = opts_.fixed_cycles ? *opts_.fixed_cycles : opts_.max_cycles;
+  if (cc == 0) throw std::invalid_argument("skipgate: zero cycles requested");
+
+  if (opts_.exec.transport == TransportKind::ThreadedPipe) {
+    // PlanCache is not thread-safe; the two party threads must not share one.
+    if (opts_.exec.garbler_plan_cache != nullptr &&
+        opts_.exec.garbler_plan_cache == opts_.exec.evaluator_plan_cache) {
+      throw std::invalid_argument(
+          "skipgate: threaded transport requires distinct per-party plan caches");
+    }
+    return run_threaded(nl_, opts_, alice_bits, bob_bits, pub_bits, streams, halt_driven, cc);
+  }
+  return run_lockstep(nl_, opts_, alice_bits, bob_bits, pub_bits, streams, halt_driven, cc);
 }
 
 }  // namespace arm2gc::core

@@ -1,25 +1,20 @@
-// SkipGate (paper §3): per-clock-cycle, gate-level elision of garbling work.
+// SkipGate (paper §3): per-clock-cycle, gate-level elision of garbling work,
+// structured as three separable roles over a pluggable transport:
 //
-// The paper's algorithms 1-6 interleave bookkeeping with garbling and filter
-// dead garbled tables at the end of each cycle. We restructure this — with
-// identical externally visible behaviour — as a deterministic two-pass *plan*
-// per cycle that both parties compute independently from public data only:
+//   Planner            (core/plan.h)      deterministic public bookkeeping
+//                                         both parties run independently; its
+//                                         per-cycle CyclePlan is cached by
+//                                         entry-state signature.
+//   GarblerSession     (core/garbler.h)   Alice's label state; consumes the
+//                                         plan, emits garbled tables/labels.
+//   EvaluatorSession   (core/evaluator.h) Bob's label state; consumes the
+//                                         plan and the garbler's frames.
 //
-//   Forward pass   classify every gate (categories i-iv) using public wire
-//                  values and secret-wire fingerprints; a fingerprint is a
-//                  deterministic public alias for the XOR-combination of base
-//                  labels a wire carries, so "fingerprints equal (+flip)" is
-//                  exactly the paper's "identical or inverted labels" test
-//                  (§3.3) without touching any key material.
-//   Backward pass  from the sampled outputs and flip-flop D-inputs, sweep
-//                  "needed" backwards; a category-iv gate is emitted iff its
-//                  output is needed. This reaches the same fixpoint as the
-//                  paper's recursive label_fanout reduction (label_fanout>0
-//                  iff needed) and makes Alice's table list and Bob's
-//                  expectations agree by construction.
-//
-// The driver runs garbler and evaluator over the shared plan; only garbled
-// tables, input labels and output labels cross the channel.
+// The SkipGateDriver below wires the three together over a gc::Transport:
+// either the lock-step in-memory duplex (single thread, exactly the paper's
+// sequential schedule) or a threaded bounded pipe that lets the garbler run
+// ahead of the evaluator — the two transports produce bit-identical results
+// and byte counts.
 #pragma once
 
 #include <cstdint>
@@ -27,17 +22,13 @@
 #include <optional>
 #include <vector>
 
+#include "core/plan.h"
 #include "crypto/block.h"
-#include "gc/channel.h"
 #include "gc/garble.h"
+#include "gc/transport.h"
 #include "netlist/netlist.h"
 
 namespace arm2gc::core {
-
-/// SkipGate = the paper's protocol; Conventional = classic sequential GC that
-/// treats every wire (including constants, public inputs and known initial
-/// values) as secret — the "w/o SkipGate" baseline of Tables 1 and 4.
-enum class Mode : std::uint8_t { SkipGate, Conventional };
 
 struct RunStats {
   std::uint64_t cycles = 0;
@@ -48,7 +39,46 @@ struct RunStats {
   /// Non-affine gate slots encountered = count_non_free() x cycles; equals
   /// the conventional-GC cost of the same run.
   std::uint64_t non_xor_slots = 0;
+  /// Cycles whose classification was served from the plan cache / computed.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  /// Peak undelivered transport backlog, in 16-byte blocks.
+  std::uint64_t transport_high_water_blocks = 0;
   gc::CommStats comm;
+
+  /// Fraction of non-XOR slots SkipGate elided (0 when nothing ran).
+  [[nodiscard]] double skip_ratio() const {
+    return non_xor_slots == 0
+               ? 0.0
+               : static_cast<double>(skipped_non_xor) / static_cast<double>(non_xor_slots);
+  }
+  /// Fraction of cycles served from the plan cache.
+  [[nodiscard]] double plan_cache_hit_ratio() const {
+    const std::uint64_t total = plan_cache_hits + plan_cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(plan_cache_hits) / static_cast<double>(total);
+  }
+};
+
+enum class TransportKind : std::uint8_t {
+  InMemory,      ///< lock-step FIFOs, single thread
+  ThreadedPipe,  ///< garbler on a worker thread, bounded-ring backpressure
+};
+
+/// Execution tuning that never changes results — only how they are computed.
+struct ExecOptions {
+  TransportKind transport = TransportKind::InMemory;
+  /// Reuse classification across cycles with identical public entry state.
+  bool plan_cache = true;
+  std::size_t plan_cache_budget_bytes = 64u << 20;
+  /// Optional externally owned plan caches that persist across runs of the
+  /// same netlist (one per party; the lock-step driver uses the garbler's).
+  /// The public signature trajectory is independent of secret inputs, so a
+  /// warm cache skips classification for every repeated execution.
+  PlanCache* garbler_plan_cache = nullptr;
+  PlanCache* evaluator_plan_cache = nullptr;
+  /// ThreadedPipe ring capacity per direction, in 16-byte blocks; this is
+  /// both the garbler's run-ahead window and the transport memory bound.
+  std::size_t pipe_blocks = 1u << 15;
 };
 
 struct RunOptions {
@@ -62,10 +92,14 @@ struct RunOptions {
   /// Safety bound when running halt-driven.
   std::uint64_t max_cycles = 1u << 20;
   crypto::Block seed{0x4152433247430100ULL, 0x736b697067617465ULL};
+  ExecOptions exec;
 };
 
 /// Per-cycle bit provider for streamed inputs (bit-serial circuits). Index i
 /// must cover every Input with streamed=true and bit_index==i of that owner.
+/// Under the ThreadedPipe transport the callbacks are invoked from both
+/// party threads (pub from both; alice from the garbler thread, bob from the
+/// evaluator thread) and must be safe to call concurrently.
 struct StreamProvider {
   std::function<netlist::BitVec(std::uint64_t cycle)> alice;
   std::function<netlist::BitVec(std::uint64_t cycle)> bob;
@@ -82,8 +116,8 @@ struct RunResult {
   RunStats stats;
 };
 
-/// Two-party sequential garbling driver (garbler + evaluator in-process,
-/// exchanging data only through a byte-accounted channel).
+/// Two-party sequential garbling driver (planner + garbler + evaluator,
+/// exchanging data only through a byte-accounted transport).
 class SkipGateDriver {
  public:
   SkipGateDriver(const netlist::Netlist& nl, RunOptions opts);

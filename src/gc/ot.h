@@ -2,8 +2,11 @@
 //
 // The protocol logic only needs the OT *functionality*: Bob obtains
 // X0 ^ b*R for his choice bit b without Alice learning b. We implement an
-// ideal-functionality endpoint that transfers the chosen label in-process and
-// accounts communication at the standard semi-honest OT-extension price
+// ideal-functionality endpoint: the offered pair travels through the
+// transport (that is the functionality's internal wiring — a real IKNP
+// endpoint would replace these two classes without touching the sessions)
+// and the receiver picks locally, so the sender never sees the choice bit.
+// Communication is accounted at the standard semi-honest OT-extension price
 // (IKNP'03: kappa = 128 bits from receiver to sender plus one label back;
 // amortized base OTs ignored). Real network OT is orthogonal to SkipGate —
 // the paper's tables never include OT traffic — but the cost is surfaced in
@@ -13,7 +16,7 @@
 #include <cstdint>
 
 #include "crypto/block.h"
-#include "gc/channel.h"
+#include "gc/transport.h"
 
 namespace arm2gc::gc {
 
@@ -23,29 +26,32 @@ inline constexpr std::uint64_t kOtBytesPerChoice = 32;
 /// Ideal 1-out-of-2 OT on labels (x0, x0^R). Alice side.
 class OtSender {
  public:
-  explicit OtSender(Channel& ch) : ch_(&ch) {}
+  explicit OtSender(Transport& tx) : tx_(&tx) {}
 
   /// Offers the pair; the paired OtReceiver::receive must be called in the
-  /// same order. Transfers happen through the channel so byte accounting and
-  /// ordering match a real deployment.
-  void send(crypto::Block x0, crypto::Block x1, bool receiver_choice) {
-    ch_->account(Traffic::Ot, kOtBytesPerChoice - 16);
-    ch_->send(receiver_choice ? x1 : x0, Traffic::Ot);
+  /// same order. The frame is accounted at exactly kOtBytesPerChoice.
+  void send(crypto::Block x0, crypto::Block x1) {
+    const crypto::Block pair[2] = {x0, x1};
+    tx_->send(pair, 2, Traffic::Ot);
   }
 
  private:
-  Channel* ch_;
+  Transport* tx_;
 };
 
-/// Ideal 1-out-of-2 OT, Bob side.
+/// Ideal 1-out-of-2 OT, Bob side: picks the label for his choice bit.
 class OtReceiver {
  public:
-  explicit OtReceiver(Channel& ch) : ch_(&ch) {}
+  explicit OtReceiver(Transport& tx) : tx_(&tx) {}
 
-  crypto::Block receive() { return ch_->recv(); }
+  crypto::Block receive(bool choice) {
+    crypto::Block pair[2];
+    tx_->recv(pair, 2);
+    return pair[choice ? 1 : 0];
+  }
 
  private:
-  Channel* ch_;
+  Transport* tx_;
 };
 
 }  // namespace arm2gc::gc

@@ -1,0 +1,195 @@
+// Party-to-party transport between garbler (Alice) and evaluator (Bob) with
+// exact byte accounting per traffic class. Communication volume — not
+// computation — is the GC bottleneck (Gueron et al., CCS'15), so the counters
+// here are the primary measurement instrument of the reproduction.
+//
+// A `Transport` is one party's bidirectional endpoint; messages are framed
+// batches of 128-bit blocks. Two implementations are provided:
+//
+//   InMemoryDuplex       lock-step FIFOs for a single-threaded driver; the
+//                        delivered prefix is dropped eagerly so memory stays
+//                        bounded on arbitrarily long runs.
+//   ThreadedPipeDuplex   bounded SPSC rings with blocking send/recv, letting
+//                        the garbler run ahead of the evaluator on another
+//                        thread; the ring capacity is the pipelining window
+//                        and the memory bound at once.
+//
+// A real deployment would put these frames on a socket — with one carve-out:
+// Traffic::Ot frames are the in-process wiring of an *ideal OT
+// functionality* (both labels travel and the receiver picks; see gc/ot.h),
+// so a deployment replaces the OT endpoints with a real extension protocol
+// rather than shipping those frames verbatim. Everything above this
+// interface is transport-agnostic either way.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/block.h"
+
+namespace arm2gc::gc {
+
+/// Thrown by transport operations cut off by a shutdown (close(), peer
+/// teardown). A distinct type so drivers can tell a teardown echo apart from
+/// a party's real failure without matching message strings.
+struct TransportClosed : std::runtime_error {
+  TransportClosed() : std::runtime_error("transport: closed") {}
+};
+
+enum class Traffic : std::uint8_t {
+  GarbledTable,  ///< half-gate ciphertexts (2 blocks per non-XOR gate)
+  InputLabel,    ///< Alice's own input labels
+  Ot,            ///< Bob's input labels (counted at OT-extension cost)
+  OutputDecode,  ///< output labels / decode bits at the end
+};
+
+struct CommStats {
+  std::uint64_t garbled_table_bytes = 0;
+  std::uint64_t input_label_bytes = 0;
+  std::uint64_t ot_bytes = 0;
+  std::uint64_t output_bytes = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return garbled_table_bytes + input_label_bytes + ot_bytes + output_bytes;
+  }
+
+  void add(Traffic t, std::uint64_t bytes) {
+    switch (t) {
+      case Traffic::GarbledTable: garbled_table_bytes += bytes; break;
+      case Traffic::InputLabel: input_label_bytes += bytes; break;
+      case Traffic::Ot: ot_bytes += bytes; break;
+      case Traffic::OutputDecode: output_bytes += bytes; break;
+    }
+  }
+
+  CommStats& operator+=(const CommStats& o) {
+    garbled_table_bytes += o.garbled_table_bytes;
+    input_label_bytes += o.input_label_bytes;
+    ot_bytes += o.ot_bytes;
+    output_bytes += o.output_bytes;
+    return *this;
+  }
+};
+
+/// One party's endpoint: framed block messages to the peer, blocking reads
+/// from the peer, and accounting for protocol bytes that do not travel as
+/// blocks in-process (e.g. OT extension overhead).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one frame of `n` blocks; accounts 16*n bytes to class `t`.
+  virtual void send(const crypto::Block* blocks, std::size_t n, Traffic t) = 0;
+
+  /// Receives exactly `n` blocks (frames are a batching hint, not a datagram
+  /// boundary; the byte stream is what is specified).
+  virtual void recv(crypto::Block* out, std::size_t n) = 0;
+
+  /// Extra bytes a real transport would carry for class `t`.
+  virtual void account(Traffic t, std::uint64_t bytes) = 0;
+
+  void send(crypto::Block b, Traffic t) { send(&b, 1, t); }
+  crypto::Block recv() {
+    crypto::Block b;
+    recv(&b, 1);
+    return b;
+  }
+};
+
+/// Lock-step in-memory transport pair for a single-threaded driver. Each
+/// direction is a FIFO whose delivered prefix is dropped as soon as the
+/// reader fully drains it (plus a chunked fallback while partially drained),
+/// so the high-water mark — not the total traffic — bounds memory.
+class InMemoryDuplex {
+ public:
+  InMemoryDuplex();
+  ~InMemoryDuplex();
+
+  [[nodiscard]] Transport& garbler_end();
+  [[nodiscard]] Transport& evaluator_end();
+
+  /// Total accounted bytes, both directions.
+  [[nodiscard]] CommStats stats() const;
+  /// Maximum number of undelivered blocks ever buffered (both directions).
+  [[nodiscard]] std::size_t high_water_blocks() const;
+
+ private:
+  struct Fifo {
+    std::vector<crypto::Block> blocks;
+    std::size_t read_pos = 0;
+    std::size_t high_water = 0;
+
+    void push(const crypto::Block* b, std::size_t n);
+    void pop(crypto::Block* out, std::size_t n);
+  };
+  class End;
+
+  Fifo a_to_b_;
+  Fifo b_to_a_;
+  CommStats garbler_sent_;
+  CommStats evaluator_sent_;
+  std::unique_ptr<End> garbler_end_;
+  std::unique_ptr<End> evaluator_end_;
+};
+
+/// Two bounded single-producer/single-consumer rings with blocking send and
+/// recv: the garbler thread can run `capacity_blocks` of traffic ahead of the
+/// evaluator before backpressure stalls it. stats() must only be called after
+/// both parties are done (the driver joins its worker thread first).
+class ThreadedPipeDuplex {
+ public:
+  /// `capacity_blocks` is per direction; clamped to at least one maximal
+  /// frame so a single message can never deadlock.
+  explicit ThreadedPipeDuplex(std::size_t capacity_blocks);
+  ~ThreadedPipeDuplex();
+
+  [[nodiscard]] Transport& garbler_end();
+  [[nodiscard]] Transport& evaluator_end();
+
+  /// Wakes any blocked peer; subsequent sends and empty recvs throw. Used to
+  /// unwind cleanly when one party fails. Idempotent.
+  void close();
+
+  [[nodiscard]] CommStats stats() const;
+  [[nodiscard]] std::size_t capacity_blocks() const { return capacity_; }
+  /// Maximum ring occupancy observed (both directions; bounded by capacity).
+  [[nodiscard]] std::size_t high_water_blocks() const;
+
+ private:
+  /// SPSC bounded ring. `count` is atomic so both sides can spin briefly on
+  /// the fast path (the parties exchange many small frames in near lock-step;
+  /// sleeping through every frame costs tens of microseconds of wake latency
+  /// each) before falling back to the condition variables.
+  struct Pipe {
+    explicit Pipe(std::size_t cap) : ring(cap) {}
+    std::mutex m;
+    std::condition_variable not_full;
+    std::condition_variable not_empty;
+    std::vector<crypto::Block> ring;
+    std::size_t head = 0;  ///< next write slot
+    std::size_t tail = 0;  ///< next read slot
+    std::atomic<std::size_t> count{0};
+    std::size_t high_water = 0;
+    std::atomic<bool> closed{false};
+
+    void push(const crypto::Block* b, std::size_t n);
+    void pop(crypto::Block* out, std::size_t n);
+    void close();
+  };
+  class End;
+
+  std::size_t capacity_;
+  Pipe a_to_b_;
+  Pipe b_to_a_;
+  CommStats garbler_sent_;
+  CommStats evaluator_sent_;
+  std::unique_ptr<End> garbler_end_;
+  std::unique_ptr<End> evaluator_end_;
+};
+
+}  // namespace arm2gc::gc

@@ -1,10 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "crypto/block.h"
-#include "gc/channel.h"
 #include "gc/garble.h"
 #include "gc/golden_digest.h"
 #include "gc/ot.h"
+#include "gc/transport.h"
 #include "netlist/gate.h"
 
 namespace {
@@ -92,34 +92,39 @@ TEST(Garble, ChainedGatesStayConsistent) {
   }
 }
 
-TEST(Channel, AccountsTrafficClasses) {
-  Channel ch;
-  ch.send(block_from_u64(1), Traffic::GarbledTable);
-  ch.send(block_from_u64(2), Traffic::GarbledTable);
-  ch.send(block_from_u64(3), Traffic::InputLabel);
-  ch.account(Traffic::Ot, 16);
-  EXPECT_EQ(ch.stats().garbled_table_bytes, 32u);
-  EXPECT_EQ(ch.stats().input_label_bytes, 16u);
-  EXPECT_EQ(ch.stats().ot_bytes, 16u);
-  EXPECT_EQ(ch.stats().total(), 64u);
-  EXPECT_EQ(ch.recv(), block_from_u64(1));
-  EXPECT_EQ(ch.recv(), block_from_u64(2));
-  ch.compact();
-  EXPECT_EQ(ch.recv(), block_from_u64(3));
-  EXPECT_THROW(ch.recv(), std::runtime_error);
+TEST(Transport, AccountsTrafficClassesBothDirections) {
+  InMemoryDuplex duplex;
+  Transport& alice = duplex.garbler_end();
+  Transport& bob = duplex.evaluator_end();
+  alice.send(block_from_u64(1), Traffic::GarbledTable);
+  alice.send(block_from_u64(2), Traffic::GarbledTable);
+  alice.send(block_from_u64(3), Traffic::InputLabel);
+  alice.account(Traffic::Ot, 16);
+  bob.send(block_from_u64(4), Traffic::OutputDecode);
+  EXPECT_EQ(duplex.stats().garbled_table_bytes, 32u);
+  EXPECT_EQ(duplex.stats().input_label_bytes, 16u);
+  EXPECT_EQ(duplex.stats().ot_bytes, 16u);
+  EXPECT_EQ(duplex.stats().output_bytes, 16u);
+  EXPECT_EQ(duplex.stats().total(), 80u);
+  EXPECT_EQ(bob.recv(), block_from_u64(1));
+  EXPECT_EQ(bob.recv(), block_from_u64(2));
+  EXPECT_EQ(bob.recv(), block_from_u64(3));
+  EXPECT_EQ(alice.recv(), block_from_u64(4));
+  EXPECT_THROW(bob.recv(), std::runtime_error);
+  EXPECT_THROW(alice.recv(), std::runtime_error);
 }
 
 TEST(Ot, DeliversChosenLabelAndAccounts) {
-  Channel ch;
-  OtSender sender(ch);
-  OtReceiver receiver(ch);
+  InMemoryDuplex duplex;
+  OtSender sender(duplex.garbler_end());
+  OtReceiver receiver(duplex.evaluator_end());
   const Block x0 = block_from_u64(10);
   const Block x1 = block_from_u64(11);
-  sender.send(x0, x1, false);
-  EXPECT_EQ(receiver.receive(), x0);
-  sender.send(x0, x1, true);
-  EXPECT_EQ(receiver.receive(), x1);
-  EXPECT_EQ(ch.stats().ot_bytes, 2 * kOtBytesPerChoice);
+  sender.send(x0, x1);
+  EXPECT_EQ(receiver.receive(false), x0);
+  sender.send(x0, x1);
+  EXPECT_EQ(receiver.receive(true), x1);
+  EXPECT_EQ(duplex.stats().ot_bytes, 2 * kOtBytesPerChoice);
 }
 
 // Pins the exact garbled-table bytes produced by the pre-AES-NI seed

@@ -213,6 +213,105 @@ TEST(NetlistIo, DumpLoadRoundTrip) {
   }
 }
 
+TEST(NetlistIo, DumpLoadRoundTripExactStructure) {
+  // Exercise every serialized field: owners, streamed inputs, names, all
+  // four DFF init kinds, inverted drivers, inverted/named outputs, the
+  // outputs_every_cycle flag.
+  Netlist nl;
+  nl.inputs.push_back(Input{Owner::Alice, true, 3, "astream"});
+  nl.inputs.push_back(Input{Owner::Bob, false, 0, ""});
+  nl.inputs.push_back(Input{Owner::Public, false, 7, "sel"});
+  Dff d0;
+  d0.init = Dff::Init::AliceBit;
+  d0.init_index = 2;
+  d0.d_invert = true;
+  Dff d1;
+  d1.init = Dff::Init::One;
+  nl.dffs.push_back(d0);
+  nl.dffs.push_back(d1);
+  nl.gates.push_back(Gate{nl.input_wire(0), nl.dff_wire(1), kTtNand});
+  nl.gates.push_back(Gate{nl.gate_wire(0), nl.input_wire(2), kTtXor});
+  nl.dffs[0].d = nl.gate_wire(1);
+  nl.dffs[1].d = nl.dff_wire(0);
+  nl.outputs.push_back(OutputPort{nl.gate_wire(1), true, "y"});
+  nl.outputs.push_back(OutputPort{nl.dff_wire(0), false, ""});
+  nl.outputs_every_cycle = true;
+
+  const std::string text = dump_to_string(nl);
+  const Netlist back = load_from_string(text);
+
+  ASSERT_EQ(back.inputs.size(), nl.inputs.size());
+  for (std::size_t i = 0; i < nl.inputs.size(); ++i) {
+    EXPECT_EQ(back.inputs[i].owner, nl.inputs[i].owner) << i;
+    EXPECT_EQ(back.inputs[i].streamed, nl.inputs[i].streamed) << i;
+    EXPECT_EQ(back.inputs[i].bit_index, nl.inputs[i].bit_index) << i;
+    EXPECT_EQ(back.inputs[i].name, nl.inputs[i].name) << i;
+  }
+  ASSERT_EQ(back.dffs.size(), nl.dffs.size());
+  for (std::size_t i = 0; i < nl.dffs.size(); ++i) {
+    EXPECT_EQ(back.dffs[i].init, nl.dffs[i].init) << i;
+    EXPECT_EQ(back.dffs[i].init_index, nl.dffs[i].init_index) << i;
+    EXPECT_EQ(back.dffs[i].d, nl.dffs[i].d) << i;
+    EXPECT_EQ(back.dffs[i].d_invert, nl.dffs[i].d_invert) << i;
+  }
+  ASSERT_EQ(back.gates.size(), nl.gates.size());
+  for (std::size_t i = 0; i < nl.gates.size(); ++i) {
+    EXPECT_EQ(back.gates[i].a, nl.gates[i].a) << i;
+    EXPECT_EQ(back.gates[i].b, nl.gates[i].b) << i;
+    EXPECT_EQ(back.gates[i].tt, nl.gates[i].tt) << i;
+  }
+  ASSERT_EQ(back.outputs.size(), nl.outputs.size());
+  for (std::size_t i = 0; i < nl.outputs.size(); ++i) {
+    EXPECT_EQ(back.outputs[i].wire, nl.outputs[i].wire) << i;
+    EXPECT_EQ(back.outputs[i].invert, nl.outputs[i].invert) << i;
+    EXPECT_EQ(back.outputs[i].name, nl.outputs[i].name) << i;
+  }
+  EXPECT_EQ(back.outputs_every_cycle, nl.outputs_every_cycle);
+  // Serialization is a fixpoint: dump(load(dump(nl))) == dump(nl).
+  EXPECT_EQ(dump_to_string(back), text);
+}
+
+TEST(Netlist, ValidateRejectsCyclicWireIds) {
+  // Combinational cycle through wire ids: gate 0 reads gate 1's output.
+  Netlist nl;
+  nl.inputs.push_back(Input{Owner::Alice, false, 0, "a"});
+  nl.gates.push_back(Gate{nl.gate_wire(1), nl.input_wire(0), kTtAnd});
+  nl.gates.push_back(Gate{nl.gate_wire(0), nl.input_wire(0), kTtOr});
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, ValidateRejectsUnassignedDffDriver) {
+  // A DFF whose driver was never assigned to a real wire (out of range).
+  Netlist nl;
+  Dff d;
+  d.d = static_cast<WireId>(nl.num_wires() + 17);
+  nl.dffs.push_back(d);
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(NetlistIo, LoadRejectsInvalidStructure) {
+  // Well-formed syntax, invalid semantics: load() must validate().
+  const char* cyclic =
+      "arm2gc-netlist v1\n"
+      "outputs_every_cycle 0\n"
+      "inputs 1\n"
+      "  in alice 0 0 a\n"
+      "dffs 0\n"
+      "gates 1\n"
+      "  g 4 2 8\n"  // gate 0 reads wire 4 (out of range / forward)
+      "outputs 0\n";
+  EXPECT_THROW(load_from_string(cyclic), std::runtime_error);
+  const char* bad_dff =
+      "arm2gc-netlist v1\n"
+      "outputs_every_cycle 0\n"
+      "inputs 0\n"
+      "dffs 1\n"
+      "  dff zero 0 99 0\n"  // driver out of range
+      "gates 0\n"
+      "outputs 0\n";
+  EXPECT_THROW(load_from_string(bad_dff), std::runtime_error);
+}
+
 TEST(NetlistIo, LoadRejectsGarbage) {
   EXPECT_THROW(load_from_string("not a netlist"), std::runtime_error);
   EXPECT_THROW(load_from_string("arm2gc-netlist v1\noutputs_every_cycle 0\ninputs 1\n"),

@@ -346,6 +346,116 @@ TEST(SkipGateSequential, CommBytesMatchGarbledCount) {
   EXPECT_GT(r.stats.comm.output_bytes, 0u);  // per-cycle sum labels
 }
 
+// --- transports ----------------------------------------------------------------
+
+void expect_results_identical(const RunResult& x, const RunResult& y) {
+  EXPECT_EQ(x.sampled_outputs, y.sampled_outputs);
+  EXPECT_EQ(x.final_outputs, y.final_outputs);
+  EXPECT_EQ(x.final_cycle, y.final_cycle);
+  EXPECT_EQ(x.stats.cycles, y.stats.cycles);
+  EXPECT_EQ(x.stats.garbled_non_xor, y.stats.garbled_non_xor);
+  EXPECT_EQ(x.stats.skipped_non_xor, y.stats.skipped_non_xor);
+  EXPECT_EQ(x.stats.non_xor_slots, y.stats.non_xor_slots);
+  EXPECT_EQ(x.stats.comm.garbled_table_bytes, y.stats.comm.garbled_table_bytes);
+  EXPECT_EQ(x.stats.comm.input_label_bytes, y.stats.comm.input_label_bytes);
+  EXPECT_EQ(x.stats.comm.ot_bytes, y.stats.comm.ot_bytes);
+  EXPECT_EQ(x.stats.comm.output_bytes, y.stats.comm.output_bytes);
+}
+
+TEST(SkipGateTransport, ThreadedPipeMatchesInMemorySerialAdder) {
+  const netlist::Netlist nl = make_serial_adder();
+  core::StreamProvider streams;
+  streams.alice = [](std::uint64_t c) { return netlist::BitVec{((0xDEADBEEFu >> c) & 1u) != 0}; };
+  streams.bob = [](std::uint64_t c) { return netlist::BitVec{((0x12345679u >> c) & 1u) != 0}; };
+  for (const Mode mode : {Mode::SkipGate, Mode::Conventional}) {
+    RunOptions opts;
+    opts.mode = mode;
+    opts.fixed_cycles = 32;
+    RunOptions topts = opts;
+    topts.exec.transport = core::TransportKind::ThreadedPipe;
+    const RunResult mem = SkipGateDriver(nl, opts).run({}, {}, {}, &streams);
+    const RunResult piped = SkipGateDriver(nl, topts).run({}, {}, {}, &streams);
+    expect_results_identical(mem, piped);
+  }
+}
+
+TEST(SkipGateTransport, ThreadedPipeMatchesInMemoryHaltDriven) {
+  // Halt-driven run: both parties' planners must reach the same termination
+  // decision independently.
+  CircuitBuilder cb;
+  const auto cnt = cb.make_dff_bus(3);
+  const auto reg = cb.make_dff_bus(4, netlist::Dff::Init::BobBit, 0);
+  const Bus cur = cb.dff_out_bus(cnt);
+  cb.set_dff_d_bus(cnt, inc(cb, cur));
+  cb.set_dff_d_bus(reg, cb.dff_out_bus(reg));
+  cb.output(cb.and_(cb.and_(cur[0], cur[2]), CircuitBuilder::not_(cur[1])), "halt");
+  cb.output_bus(cb.dff_out_bus(reg), "r");
+  netlist::Netlist nl = cb.take();
+
+  RunOptions opts;
+  opts.halt_wire = nl.outputs[0].wire;
+  opts.max_cycles = 100;
+  RunOptions topts = opts;
+  topts.exec.transport = core::TransportKind::ThreadedPipe;
+  const RunResult mem = SkipGateDriver(nl, opts).run({}, to_bits(0xC, 4));
+  const RunResult piped = SkipGateDriver(nl, topts).run({}, to_bits(0xC, 4));
+  expect_results_identical(mem, piped);
+  EXPECT_EQ(piped.final_cycle, 5u);
+
+  // Failure on both sides (max_cycles exhausted) surfaces as the same error
+  // the in-memory driver raises, not as a transport teardown artifact.
+  RunOptions bad = topts;
+  bad.max_cycles = 3;
+  EXPECT_THROW(SkipGateDriver(nl, bad).run({}, to_bits(0xC, 4)), std::runtime_error);
+}
+
+TEST(SkipGateTransport, ThreadedPipeMatchesInMemoryRandomCircuits) {
+  crypto::CtrRng rng(crypto::block_from_u64(777));
+  for (int seed = 0; seed < 5; ++seed) {
+    CircuitBuilder cb;
+    const Bus a = cb.input_bus(netlist::Owner::Alice, 8, 0);
+    const Bus b = cb.input_bus(netlist::Owner::Bob, 8, 0);
+    cb.output_bus(mul_lower(cb, a, b, 8));
+    const netlist::Netlist nl = cb.take();
+    const netlist::BitVec av = to_bits(rng.next_u64(), 8);
+    const netlist::BitVec bv = to_bits(rng.next_u64(), 8);
+    for (const auto scheme : {gc::Scheme::HalfGates, gc::Scheme::Grr3, gc::Scheme::Classic4}) {
+      RunOptions opts;
+      opts.fixed_cycles = 1;
+      opts.scheme = scheme;
+      RunOptions topts = opts;
+      topts.exec.transport = core::TransportKind::ThreadedPipe;
+      topts.exec.pipe_blocks = 64;  // force backpressure on a real circuit
+      const RunResult mem = SkipGateDriver(nl, opts).run(av, bv);
+      const RunResult piped = SkipGateDriver(nl, topts).run(av, bv);
+      expect_results_identical(mem, piped);
+    }
+  }
+}
+
+TEST(SkipGateTransport, LongRunKeepsTransportMemoryBounded) {
+  // 4096 cycles of the serial adder move ~4096 garbled tables plus OT and
+  // output traffic; the transport must never buffer more than one cycle's
+  // frames (in-memory FIFOs self-compact; the threaded ring is bounded by
+  // construction).
+  const netlist::Netlist nl = make_serial_adder();
+  core::StreamProvider streams;
+  streams.alice = [](std::uint64_t c) { return netlist::BitVec{(c & 1) != 0}; };
+  streams.bob = [](std::uint64_t c) { return netlist::BitVec{(c & 3) == 2}; };
+  RunOptions opts;
+  opts.fixed_cycles = 4096;
+  const RunResult mem = SkipGateDriver(nl, opts).run({}, {}, {}, &streams);
+  EXPECT_GT(mem.stats.comm.total(), 4096u * 32);
+  EXPECT_LE(mem.stats.transport_high_water_blocks, 16u);
+
+  RunOptions topts = opts;
+  topts.exec.transport = core::TransportKind::ThreadedPipe;
+  topts.exec.pipe_blocks = 256;
+  const RunResult piped = SkipGateDriver(nl, topts).run({}, {}, {}, &streams);
+  expect_results_identical(mem, piped);
+  EXPECT_LE(piped.stats.transport_high_water_blocks, 256u);
+}
+
 TEST(SkipGate, GarblingSchemesAllWork) {
   CircuitBuilder cb;
   const Bus a = cb.input_bus(netlist::Owner::Alice, 8, 0);

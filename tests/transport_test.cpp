@@ -1,0 +1,113 @@
+// Transport-layer tests: frame ordering and byte accounting, bounded-memory
+// self-compaction of the in-memory FIFOs, and the threaded bounded pipe
+// (cross-thread integrity, backpressure bound, close() unblocking).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+
+#include "crypto/block.h"
+#include "gc/transport.h"
+
+namespace {
+
+using arm2gc::crypto::Block;
+using arm2gc::crypto::block_from_u64;
+using namespace arm2gc::gc;
+
+TEST(InMemoryDuplex, FramesArriveInOrderAcrossDirections) {
+  InMemoryDuplex duplex;
+  const Block frame[3] = {block_from_u64(1), block_from_u64(2), block_from_u64(3)};
+  duplex.garbler_end().send(frame, 3, Traffic::GarbledTable);
+  duplex.evaluator_end().send(block_from_u64(9), Traffic::OutputDecode);
+
+  Block got[2];
+  duplex.evaluator_end().recv(got, 2);
+  EXPECT_EQ(got[0], block_from_u64(1));
+  EXPECT_EQ(got[1], block_from_u64(2));
+  EXPECT_EQ(duplex.evaluator_end().recv(), block_from_u64(3));
+  EXPECT_EQ(duplex.garbler_end().recv(), block_from_u64(9));
+  EXPECT_EQ(duplex.stats().garbled_table_bytes, 48u);
+  EXPECT_EQ(duplex.stats().output_bytes, 16u);
+}
+
+TEST(InMemoryDuplex, SelfCompactsOnLongRuns) {
+  // A long alternating send/recv run must not accumulate delivered blocks:
+  // the high-water mark tracks the undelivered backlog only.
+  InMemoryDuplex duplex;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    const Block frame[4] = {block_from_u64(4 * i), block_from_u64(4 * i + 1),
+                            block_from_u64(4 * i + 2), block_from_u64(4 * i + 3)};
+    duplex.garbler_end().send(frame, 4, Traffic::GarbledTable);
+    Block got[4];
+    duplex.evaluator_end().recv(got, 4);
+    EXPECT_EQ(got[3], block_from_u64(4 * i + 3));
+  }
+  EXPECT_EQ(duplex.stats().garbled_table_bytes, 100000u * 64);
+  EXPECT_LE(duplex.high_water_blocks(), 4u);
+}
+
+TEST(InMemoryDuplex, UnderrunThrows) {
+  InMemoryDuplex duplex;
+  duplex.garbler_end().send(block_from_u64(1), Traffic::InputLabel);
+  Block got[2];
+  EXPECT_THROW(duplex.evaluator_end().recv(got, 2), std::runtime_error);
+}
+
+TEST(ThreadedPipeDuplex, TransfersAcrossThreadsWithBackpressure) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr std::uint64_t kBlocks = 100000;
+  ThreadedPipeDuplex duplex(kCapacity);
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kBlocks; i += 5) {
+      Block frame[5];
+      for (std::uint64_t k = 0; k < 5; ++k) frame[k] = block_from_u64(i + k);
+      duplex.garbler_end().send(frame, 5, Traffic::GarbledTable);
+    }
+  });
+  for (std::uint64_t i = 0; i < kBlocks; ++i) {
+    ASSERT_EQ(duplex.evaluator_end().recv(), block_from_u64(i));
+  }
+  producer.join();
+  EXPECT_EQ(duplex.stats().garbled_table_bytes, kBlocks * 16);
+  EXPECT_LE(duplex.high_water_blocks(), kCapacity);  // ring bounds memory
+}
+
+TEST(ThreadedPipeDuplex, BidirectionalEcho) {
+  ThreadedPipeDuplex duplex(32);
+  std::thread peer([&] {
+    for (int i = 0; i < 1000; ++i) {
+      const Block b = duplex.evaluator_end().recv();
+      duplex.evaluator_end().send(b ^ block_from_u64(1), Traffic::OutputDecode);
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    duplex.garbler_end().send(block_from_u64(static_cast<std::uint64_t>(i) << 1),
+                              Traffic::InputLabel);
+    EXPECT_EQ(duplex.garbler_end().recv(),
+              block_from_u64((static_cast<std::uint64_t>(i) << 1) | 1));
+  }
+  peer.join();
+}
+
+TEST(ThreadedPipeDuplex, CloseUnblocksReceiverAndSender) {
+  ThreadedPipeDuplex duplex(16);
+  std::thread blocked([&] {
+    EXPECT_THROW(duplex.evaluator_end().recv(), std::runtime_error);
+  });
+  duplex.close();
+  blocked.join();
+  EXPECT_THROW(duplex.garbler_end().send(block_from_u64(1), Traffic::InputLabel),
+               std::runtime_error);
+}
+
+TEST(ThreadedPipeDuplex, DrainsBufferedBlocksAfterClose) {
+  ThreadedPipeDuplex duplex(16);
+  duplex.garbler_end().send(block_from_u64(7), Traffic::InputLabel);
+  duplex.close();
+  EXPECT_EQ(duplex.evaluator_end().recv(), block_from_u64(7));  // buffered data survives
+  EXPECT_THROW(duplex.evaluator_end().recv(), std::runtime_error);
+}
+
+}  // namespace
