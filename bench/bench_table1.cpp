@@ -29,6 +29,10 @@ void run_row(const TgInstance& inst, PaperRow paper) {
               benchutil::improv_pct(conv.stats.garbled_non_xor, skip.stats.garbled_non_xor)
                   .c_str(),
               benchutil::stats_brief(skip.stats).c_str());
+  benchutil::json_stats(inst.name, skip.stats);
+  if (benchutil::json().enabled()) {
+    benchutil::json().add(inst.name + ".conventional_non_xor", conv.stats.garbled_non_xor);
+  }
 }
 
 netlist::BitVec rand_bits(crypto::CtrRng& rng, std::size_t n) {
@@ -39,7 +43,8 @@ netlist::BitVec rand_bits(crypto::CtrRng& rng, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_args(argc, argv);
   benchutil::header("Table 1: SkipGate on TinyGarble sequential circuits (w/o vs w/)");
   std::printf("(paper columns: # garbled non-XOR w/o SkipGate / w/ SkipGate)\n\n");
   crypto::CtrRng rng(crypto::block_from_u64(101));
@@ -72,5 +77,5 @@ int main() {
 
   std::printf("\nShape check: SkipGate never increases cost; AES benefits most (public key\n"
               "schedule / controller), Compare not at all — matching the paper.\n");
-  return 0;
+  return benchutil::finish();
 }

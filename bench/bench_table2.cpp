@@ -29,6 +29,11 @@ void print_row(const std::string& name, PaperRow paper, std::uint64_t hdl, std::
               name.c_str(), num(paper.tiny).c_str(), num(paper.arm).c_str(), num(hdl).c_str(),
               num(arm).c_str(), benchutil::pct(overhead).c_str(),
               arm_stats != nullptr ? benchutil::stats_brief(*arm_stats).c_str() : "");
+  if (benchutil::json().enabled()) {
+    benchutil::json().add(name + ".hdl_non_xor", hdl);
+    benchutil::json().add(name + ".arm_non_xor", arm);
+    if (arm_stats != nullptr) benchutil::json_stats(name + ".arm", *arm_stats);
+  }
 }
 
 core::RunStats run_arm(const programs::Program& p, const std::vector<std::uint32_t>& a,
@@ -53,7 +58,8 @@ std::vector<std::uint32_t> rand_words(crypto::CtrRng& rng, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_args(argc, argv);
   benchutil::header("Table 2: ARM2GC (C via ARM binary) vs HDL synthesis (TinyGarble path)");
   std::printf("(paper columns: TinyGarble-Verilog / ARM2GC-C garbled non-XOR)\n\n");
   crypto::CtrRng rng(crypto::block_from_u64(202));
@@ -149,5 +155,5 @@ int main() {
                 num(kMips).c_str(), num(ours).c_str(),
                 static_cast<double>(kMips) / static_cast<double>(ours));
   }
-  return 0;
+  return benchutil::finish();
 }

@@ -25,6 +25,7 @@ void row(const std::string& name, const char* cbmc, const char* frigate,
          std::uint64_t paper_arm, std::uint64_t ours) {
   std::printf("%-18s CBMC-GC %10s   Frigate %10s   ARM2GC paper %10s   ours %10s\n",
               name.c_str(), cbmc, frigate, num(paper_arm).c_str(), num(ours).c_str());
+  if (benchutil::json().enabled()) benchutil::json().add(name + ".garbled_non_xor", ours);
 }
 
 std::uint64_t run_arm(const programs::Program& p, const std::vector<std::uint32_t>& a,
@@ -35,7 +36,8 @@ std::uint64_t run_arm(const programs::Program& p, const std::vector<std::uint32_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_args(argc, argv);
   benchutil::header("Table 3: ARM2GC vs high-level-language GC frameworks");
   std::printf("(CBMC-GC / Frigate columns are the published counts the paper quotes)\n\n");
   crypto::CtrRng rng(crypto::block_from_u64(303));
@@ -85,5 +87,5 @@ int main() {
     const auto r = machine.run(std::vector<std::uint32_t>{123}, std::vector<std::uint32_t>{});
     row("a = a op a", "0", "0", 0, r.stats.garbled_non_xor);
   }
-  return 0;
+  return benchutil::finish();
 }

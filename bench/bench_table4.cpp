@@ -32,11 +32,14 @@ void run_row(const programs::Program& p, const std::vector<std::uint32_t>& a,
               benchutil::improv_ratio(wo, r.stats.garbled_non_xor).c_str(),
               benchutil::improv_ratio(paper_wo, paper_w).c_str(),
               benchutil::stats_brief(r.stats).c_str());
+  benchutil::json_stats(p.name, r.stats);
+  if (benchutil::json().enabled()) benchutil::json().add(p.name + ".conventional_non_xor", wo);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_args(argc, argv);
   benchutil::header("Table 4: conventional GC vs SkipGate on the garbled ARM");
   std::printf("(columns: garbled non-XOR w/o SkipGate (exact: cycles x %s-gate core) / w/)\n\n",
               "non-free");
@@ -57,5 +60,5 @@ int main() {
   std::printf("\n(SHA3/AES rows of the paper require the bitsliced ARM ports; their circuit-\n"
               "path equivalents appear in bench_table1. Improvements here span 10^3-10^6x,\n"
               "matching the paper's shape: idle-component-heavy functions benefit most.)\n");
-  return 0;
+  return benchutil::finish();
 }

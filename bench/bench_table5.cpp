@@ -29,11 +29,17 @@ void run_row(const programs::Program& p, const std::vector<std::uint32_t>& a,
               num(r.stats.garbled_non_xor).c_str(),
               benchutil::improv_ratio(wo, r.stats.garbled_non_xor).c_str(),
               num(r.cycles).c_str(), benchutil::stats_brief(r.stats).c_str());
+  benchutil::json_stats(p.name, r.stats);
+  if (benchutil::json().enabled()) {
+    benchutil::json().add(p.name + ".cycles", r.cycles);
+    benchutil::json().add(p.name + ".conventional_non_xor", wo);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_args(argc, argv);
   benchutil::header("Table 5: complex functions on ARM2GC (XOR-shared inputs)");
   crypto::CtrRng rng(crypto::block_from_u64(505));
 
@@ -59,5 +65,5 @@ int main() {
     for (int i = 0; i < 3; ++i) a[static_cast<std::size_t>(i)] = vals[static_cast<std::size_t>(i)] ^ bmask[static_cast<std::size_t>(i)];
     run_row(programs::cordic32(), a, bmask, 228847596, 4601);
   }
-  return 0;
+  return benchutil::finish();
 }

@@ -1,13 +1,100 @@
-// Shared table-printing helpers for the paper-reproduction benchmarks.
+// Shared table-printing and JSON-recording helpers for the
+// paper-reproduction benchmarks.
+//
+// Every bench binary accepts `--json <path>`: rows record their key metrics
+// into a flat JSON object which is written on exit, so the BENCH_*.json
+// files in the repo can be regenerated reproducibly instead of hand-edited:
+//
+//   ./bench_table1 --json BENCH_table1.json
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/skipgate.h"
 
 namespace benchutil {
+
+/// Flat key -> value JSON recorder (insertion-ordered). Values are
+/// pre-rendered; keys are escaped minimally (quotes and backslashes).
+class JsonWriter {
+ public:
+  void set_path(std::string path) { path_ = std::move(path); }
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void add(const std::string& key, std::uint64_t v) { kv_.emplace_back(key, std::to_string(v)); }
+  void add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    kv_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, const std::string& v) {
+    kv_.emplace_back(key, "\"" + escape(v) + "\"");
+  }
+
+  /// Writes `{ "key": value, ... }`; returns false (and complains) on I/O
+  /// failure. A no-op success when --json was not given.
+  [[nodiscard]] bool write() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < kv_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", escape(kv_[i].first).c_str(), kv_[i].second.c_str(),
+                   i + 1 < kv_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\n[json written to %s]\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+inline JsonWriter& json() {
+  static JsonWriter w;
+  return w;
+}
+
+/// Parses common bench flags (currently `--json <path>`).
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json().set_path(argv[i + 1]);
+  }
+}
+
+/// End-of-main hook: flushes the JSON file (if requested) and converts an
+/// I/O failure into a nonzero exit code.
+inline int finish() { return json().write() ? 0 : 1; }
+
+/// Records the uniform per-row protocol stats under `prefix.*`.
+inline void json_stats(const std::string& prefix, const arm2gc::core::RunStats& s) {
+  if (!json().enabled()) return;
+  json().add(prefix + ".garbled_non_xor", s.garbled_non_xor);
+  json().add(prefix + ".skip_ratio", s.skip_ratio());
+  json().add(prefix + ".plan_cache_hit_ratio", s.plan_cache_hit_ratio());
+  json().add(prefix + ".cone_hit_ratio", s.cone_hit_ratio());
+  json().add(prefix + ".comm_bytes", s.comm.total());
+}
 
 inline void header(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
@@ -57,12 +144,14 @@ inline std::string improv_ratio(std::uint64_t without, std::uint64_t with) {
                  static_cast<double>(with == 0 ? std::uint64_t{1} : with));
 }
 
-/// Uniform per-row protocol-stats suffix: SkipGate elision ratio and plan
-/// cache hit rate, straight from RunStats (no per-bench hand computation).
+/// Uniform per-row protocol-stats suffix: SkipGate elision ratio, plan cache
+/// hit rate and cone-memo hit rate, straight from RunStats (no per-bench
+/// hand computation).
 inline std::string stats_brief(const arm2gc::core::RunStats& s) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "skip %6.2f%%  cache %5.1f%%", 100.0 * s.skip_ratio(),
-                100.0 * s.plan_cache_hit_ratio());
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "skip %6.2f%%  cache %5.1f%%  cone %5.1f%%",
+                100.0 * s.skip_ratio(), 100.0 * s.plan_cache_hit_ratio(),
+                100.0 * s.cone_hit_ratio());
   return buf;
 }
 

@@ -74,10 +74,16 @@ Arm2Gc::Session::Session(const Arm2Gc& machine, core::ExecOptions exec)
     : machine_(&machine),
       exec_(exec),
       garbler_cache_(exec.plan_cache_budget_bytes),
-      evaluator_cache_(exec.plan_cache_budget_bytes) {
+      evaluator_cache_(exec.plan_cache_budget_bytes),
+      garbler_cones_(exec.cone_memo_budget_bytes),
+      evaluator_cones_(exec.cone_memo_budget_bytes) {
   exec_.plan_cache = true;  // warm caches are the point of a session
   if (exec_.garbler_plan_cache == nullptr) exec_.garbler_plan_cache = &garbler_cache_;
   if (exec_.evaluator_plan_cache == nullptr) exec_.evaluator_plan_cache = &evaluator_cache_;
+  if (exec_.cone_memo) {
+    if (exec_.garbler_cone_memo == nullptr) exec_.garbler_cone_memo = &garbler_cones_;
+    if (exec_.evaluator_cone_memo == nullptr) exec_.evaluator_cone_memo = &evaluator_cones_;
+  }
 }
 
 Arm2GcResult Arm2Gc::Session::run(std::span<const std::uint32_t> alice,

@@ -60,17 +60,20 @@ class Arm2Gc {
                                            std::span<const std::uint32_t> bob,
                                            std::uint64_t max_cycles = 1u << 20) const;
 
-  /// Long-lived execution session: keeps per-party plan caches warm across
-  /// runs of the same machine. The public signature trajectory of a run
-  /// depends only on the program (secret inputs contribute value-independent
-  /// fingerprint classes), so every run after the first skips classification
-  /// entirely — the serving scenario: one public program, many executions on
-  /// fresh private inputs. Not thread-safe; use one Session per worker.
+  /// Long-lived execution session: keeps per-party plan caches and cone
+  /// memos warm across runs of the same machine. The public signature
+  /// trajectory of a run depends only on the program (secret inputs
+  /// contribute value-independent fingerprint classes), so every run after
+  /// the first skips classification entirely — the serving scenario: one
+  /// public program, many executions on fresh private inputs. The warm cone
+  /// memos additionally serve runs whose public trajectory *differs* (e.g.
+  /// input-dependent loop counts): only the cones around the divergence are
+  /// reclassified. Not thread-safe; use one Session per worker.
   class Session {
    public:
     /// `exec` seeds transport/budget tuning; `plan_cache` is forced on, and
-    /// the session's own cache fills each per-party cache pointer the caller
-    /// left null (caller-supplied caches are used as given).
+    /// the session's own cache/memo fills each per-party pointer the caller
+    /// left null (caller-supplied ones are used as given).
     explicit Session(const Arm2Gc& machine, core::ExecOptions exec = {});
 
     [[nodiscard]] Arm2GcResult run(std::span<const std::uint32_t> alice,
@@ -83,6 +86,8 @@ class Arm2Gc {
     core::ExecOptions exec_;
     core::PlanCache garbler_cache_;
     core::PlanCache evaluator_cache_;
+    core::ConeMemo garbler_cones_;
+    core::ConeMemo evaluator_cones_;
   };
 
   [[nodiscard]] const CpuNetlist& cpu() const { return cpu_; }

@@ -116,40 +116,47 @@ void GarblerSession::garble_cycle(const CyclePlan& plan) {
   const WireId first_gate = nl_.first_gate_wire();
   const Block r = garbler_.R();
   const bool conventional = mode_ == Mode::Conventional;
-  for (std::size_t i = 0; i < plan.num_gates; ++i) {
-    const WireId w = first_gate + static_cast<WireId>(i);
-    if (!conventional && !plan.live[i]) continue;
-    const Gate g = nl_.gates[i];
-    switch (plan.action(i)) {
-      case PlanAct::Public:
-        break;
-      case PlanAct::PassA:
-        la_[w] = la_[g.a] ^ maybe(r, plan.wire_flip(w) != plan.wire_flip(g.a));
-        break;
-      case PlanAct::PassB:
-        la_[w] = la_[g.b] ^ maybe(r, plan.wire_flip(w) != plan.wire_flip(g.b));
-        break;
-      case PlanAct::PassC0:
-        la_[w] = la_[netlist::kConst0];
-        break;
-      case PlanAct::PassC1:
-        la_[w] = la_[netlist::kConst1];
-        break;
-      case PlanAct::PassSrc: {
-        const WireId src = plan.pass_src[i];
-        la_[w] = la_[src] ^ maybe(r, plan.wire_flip(w) != plan.wire_flip(src));
-        break;
-      }
-      case PlanAct::FreeXor:
-        la_[w] = la_[g.a] ^ la_[g.b] ^
-                 maybe(r, (plan.wire_flip(w) != plan.wire_flip(g.a)) != plan.wire_flip(g.b));
-        break;
-      case PlanAct::Garble: {
-        if (!plan.emit[i]) break;  // dead garbled gate: never built nor sent
-        gc::GarbledTable table;
-        la_[w] = garbler_.garble(la_[g.a], la_[g.b], netlist::tt_and_core(g.tt), table);
-        tx_->send(table.rows.data(), table.count, gc::Traffic::GarbledTable);
-        break;
+  for (std::size_t si = 0; si < plan.num_slices; ++si) {
+    const PlanSlice& sl = plan.slices[si];
+    // SkipGate slices carry an explicit work list of their live gates;
+    // Conventional mode processes every gate.
+    const std::uint32_t n = conventional ? sl.count : sl.work_count;
+    for (std::uint32_t k = 0; k < n; ++k) {
+      const std::uint32_t j = conventional ? k : sl.work[k];
+      const std::size_t i = sl.first_gate + j;
+      const WireId w = first_gate + static_cast<WireId>(i);
+      const Gate g = nl_.gates[i];
+      switch (sl.action(j)) {
+        case PlanAct::Public:
+          break;
+        case PlanAct::PassA:
+          la_[w] = la_[g.a] ^ maybe(r, plan.wire_flip(w) != plan.wire_flip(g.a));
+          break;
+        case PlanAct::PassB:
+          la_[w] = la_[g.b] ^ maybe(r, plan.wire_flip(w) != plan.wire_flip(g.b));
+          break;
+        case PlanAct::PassC0:
+          la_[w] = la_[netlist::kConst0];
+          break;
+        case PlanAct::PassC1:
+          la_[w] = la_[netlist::kConst1];
+          break;
+        case PlanAct::PassSrc: {
+          const WireId src = sl.pass_src[j];
+          la_[w] = la_[src] ^ maybe(r, plan.wire_flip(w) != plan.wire_flip(src));
+          break;
+        }
+        case PlanAct::FreeXor:
+          la_[w] = la_[g.a] ^ la_[g.b] ^
+                   maybe(r, (plan.wire_flip(w) != plan.wire_flip(g.a)) != plan.wire_flip(g.b));
+          break;
+        case PlanAct::Garble: {
+          if (!sl.emit[j]) break;  // dead garbled gate: never built nor sent
+          gc::GarbledTable table;
+          la_[w] = garbler_.garble(la_[g.a], la_[g.b], netlist::tt_and_core(g.tt), table);
+          tx_->send(table.rows.data(), table.count, gc::Traffic::GarbledTable);
+          break;
+        }
       }
     }
   }

@@ -1,6 +1,8 @@
 #include "core/plan.h"
 
 #include <algorithm>
+#include <cstring>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -32,6 +34,15 @@ std::uint8_t pack_bits(const WireState& s) {
 std::uint64_t fnv1a64(const std::vector<std::uint32_t>& v) {
   std::uint64_t h = 1469598103934665603ull;
   for (const std::uint32_t x : v) {
+    h ^= x;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64_u64(const std::vector<std::uint64_t>& v) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t x : v) {
     h ^= x;
     h *= 1099511628211ull;
   }
@@ -109,9 +120,8 @@ WireId resolve_pass(const Netlist& nl, const std::uint8_t* acts, const WireId* p
 /// For a free XOR of wires (wa, wb): if either side resolves to a FreeXor
 /// gate one of whose operands' fingerprint equals the result fingerprint,
 /// the other operand cancels and the result is a plain wire. Returns the
-/// surviving source wire or kNoWire. `is_pub` abstracts where publicness
-/// lives (live planner state during classification, cached wire bits during
-/// hit verification) so both paths share one decision procedure.
+/// surviving source wire or kNoWire. `is_pub` reads the stitched wire bits,
+/// so classification and hit verification share one decision procedure.
 template <typename IsPubFn>
 WireId find_cancellation(const Netlist& nl, const std::uint8_t* acts, const WireId* pass_srcs,
                          const std::vector<WireState>& st, IsPubFn&& is_pub, WireId wa,
@@ -131,13 +141,137 @@ WireId find_cancellation(const Netlist& nl, const std::uint8_t* acts, const Wire
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// PlanLayout: one-time cone segmentation
+// ---------------------------------------------------------------------------
+
+PlanLayout PlanLayout::build(const Netlist& nl, std::size_t target_gates,
+                             std::uint64_t netlist_key) {
+  PlanLayout layout;
+  const std::size_t ng = nl.gates.size();
+  const WireId first_gate = nl.first_gate_wire();
+  std::size_t target = target_gates;
+  if (target == 0 || target > ng) target = std::max<std::size_t>(ng, 1);
+
+  // Fanout frontier profile: cross[c] counts the wires produced before gate
+  // c that are still consumed at or after it. Wires feeding flip-flop
+  // D-inputs or output ports stay live to the end of the cycle.
+  std::vector<std::uint32_t> last(ng, 0);
+  std::vector<std::uint8_t> used(ng, 0);
+  for (std::size_t j = 0; j < ng; ++j) {
+    for (const WireId w : {nl.gates[j].a, nl.gates[j].b}) {
+      if (w >= first_gate) {
+        last[w - first_gate] = static_cast<std::uint32_t>(j);
+        used[w - first_gate] = 1;
+      }
+    }
+  }
+  for (const Dff& d : nl.dffs) {
+    if (d.d >= first_gate) {
+      last[d.d - first_gate] = static_cast<std::uint32_t>(ng);
+      used[d.d - first_gate] = 1;
+    }
+  }
+  for (const netlist::OutputPort& o : nl.outputs) {
+    if (o.wire >= first_gate) {
+      last[o.wire - first_gate] = static_cast<std::uint32_t>(ng);
+      used[o.wire - first_gate] = 1;
+    }
+  }
+  std::vector<std::int64_t> diff(ng + 2, 0);
+  for (std::size_t i = 0; i < ng; ++i) {
+    if (used[i] != 0 && last[i] > i) {
+      diff[i + 1] += 1;
+      diff[last[i] + 1] -= 1;
+    }
+  }
+  std::vector<std::uint64_t> cross(ng + 1, 0);
+  std::int64_t acc = 0;
+  for (std::size_t c = 0; c <= ng; ++c) {
+    acc += diff[c];
+    cross[c] = static_cast<std::uint64_t>(acc);
+  }
+
+  // Cut selection: near every multiple of the target size, pick the position
+  // in a +/- target/4 window that the fewest wires cross (ties: earliest).
+  // Deterministic, so both parties derive the identical layout.
+  std::vector<std::size_t> ends;
+  std::size_t pos = 0;
+  while (ng - pos > target + target / 2) {
+    const std::size_t ideal = pos + target;
+    std::size_t lo = std::max(pos + std::max<std::size_t>(target / 2, 1), ideal - target / 4);
+    std::size_t hi = std::min(ng - 1, ideal + target / 4);
+    if (lo > hi) lo = hi;
+    std::size_t best = lo;
+    for (std::size_t c = lo + 1; c <= hi; ++c) {
+      if (cross[c] < cross[best]) best = c;
+    }
+    ends.push_back(best);
+    pos = best;
+  }
+  if (ng > 0) ends.push_back(ng);
+
+  // Segment boundaries (the distinct external wires each segment reads) and
+  // producer-segment dependency edges (the dirty-cascade graph).
+  std::vector<std::uint32_t> stamp(nl.num_wires(), 0);
+  std::vector<std::uint8_t> any_boundary(nl.num_wires(), 0);
+  std::vector<std::uint32_t> gate_to_seg(ng, 0);
+  std::uint32_t cur_stamp = 0;
+  std::size_t seg_start = 0;
+  for (const std::size_t end : ends) {
+    PlanSegment seg;
+    seg.first_gate = static_cast<std::uint32_t>(seg_start);
+    seg.count = static_cast<std::uint32_t>(end - seg_start);
+    const WireId seg_first_wire = first_gate + static_cast<WireId>(seg_start);
+    ++cur_stamp;
+    for (std::size_t j = seg_start; j < end; ++j) {
+      gate_to_seg[j] = static_cast<std::uint32_t>(layout.segments.size());
+      for (const WireId w : {nl.gates[j].a, nl.gates[j].b}) {
+        if (w < seg_first_wire && stamp[w] != cur_stamp) {
+          stamp[w] = cur_stamp;
+          seg.boundary.push_back(w);
+          if (!any_boundary[w]) {
+            any_boundary[w] = 1;
+            ++layout.unique_boundary;
+          }
+        }
+      }
+    }
+    std::sort(seg.boundary.begin(), seg.boundary.end());
+    seg.root_count = static_cast<std::uint32_t>(
+        std::lower_bound(seg.boundary.begin(), seg.boundary.end(), first_gate) -
+        seg.boundary.begin());
+    for (std::size_t k = seg.root_count; k < seg.boundary.size(); ++k) {
+      seg.deps.push_back(gate_to_seg[seg.boundary[k] - first_gate]);
+    }
+    std::sort(seg.deps.begin(), seg.deps.end());
+    seg.deps.erase(std::unique(seg.deps.begin(), seg.deps.end()), seg.deps.end());
+    layout.max_boundary = std::max(layout.max_boundary, seg.boundary.size());
+    layout.total_boundary += seg.boundary.size();
+    layout.segments.push_back(std::move(seg));
+    seg_start = end;
+  }
+
+  std::uint64_t h = fnv1a64_step(netlist_key, layout.segments.size());
+  for (const PlanSegment& s : layout.segments) {
+    h = fnv1a64_step(h, static_cast<std::uint64_t>(s.first_gate) |
+                            (static_cast<std::uint64_t>(s.count) << 32));
+  }
+  layout.key = h;
+  return layout;
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache: whole-netlist plans, LRU-bounded
+// ---------------------------------------------------------------------------
+
 PlanCache::PlanCache(std::size_t budget_bytes, bool insert_on_first_sight)
     : budget_bytes_(budget_bytes), insert_first_(insert_on_first_sight) {}
 PlanCache::~PlanCache() = default;
 
 void PlanCache::ensure_sized(std::uint64_t netlist_key, std::size_t num_wires,
                              std::size_t num_gates, std::size_t roots) {
-  if (!slots_.empty()) {
+  if (capacity_ != 0) {
     if (netlist_key_ != netlist_key) {
       throw std::invalid_argument("plan cache reused across different netlists");
     }
@@ -145,12 +279,11 @@ void PlanCache::ensure_sized(std::uint64_t netlist_key, std::size_t num_wires,
   }
   netlist_key_ = netlist_key;
   // Rough per-entry footprint: signature + acts + pass sources + packed
-  // wire bits + two backward variants (emit + live each).
+  // wire bits + touch list + two backward variants (emit + live each).
   const std::size_t entry_bytes = 4 * roots + num_gates + 4 * num_gates + num_wires +
                                   4 * num_gates + 256;
   capacity_ = std::clamp<std::size_t>(budget_bytes_ / std::max<std::size_t>(entry_bytes, 1), 4,
                                       65536);
-  slots_.resize(next_pow2(2 * capacity_));
   if (!insert_first_) seen_.resize(next_pow2(8 * capacity_));
 }
 
@@ -176,6 +309,112 @@ bool PlanCache::admit(std::uint64_t hash) {
   }
 }
 
+PlanCache::Entry* PlanCache::find(std::uint64_t hash, const std::vector<std::uint32_t>& sig) {
+  const auto it = map_.find(hash);
+  if (it == map_.end()) return nullptr;
+  for (const LruList::iterator li : it->second) {
+    if (li->sig == sig) {
+      lru_.splice(lru_.begin(), lru_, li);
+      return &*li;
+    }
+  }
+  return nullptr;
+}
+
+PlanCache::Entry* PlanCache::insert(std::uint64_t hash, const std::vector<std::uint32_t>& sig) {
+  if (!admit(hash)) return nullptr;
+  if (lru_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    const auto vit = map_.find(victim.hash);
+    for (auto i = vit->second.begin(); i != vit->second.end(); ++i) {
+      if (&**i == &victim) {
+        vit->second.erase(i);
+        break;
+      }
+    }
+    if (vit->second.empty()) map_.erase(vit);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front();
+  Entry& e = lru_.front();
+  e.hash = hash;
+  e.sig = sig;
+  map_[hash].push_back(lru_.begin());
+  return &e;
+}
+
+// ---------------------------------------------------------------------------
+// ConeMemo: per-segment forward classifications, LRU-bounded
+// ---------------------------------------------------------------------------
+
+ConeMemo::ConeMemo(std::size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+ConeMemo::~ConeMemo() = default;
+
+void ConeMemo::ensure_sized(std::uint64_t layout_key, const PlanLayout& layout) {
+  if (capacity_ != 0) {
+    if (layout_key_ != layout_key) {
+      throw std::invalid_argument("cone memo reused across different netlists or layouts");
+    }
+    return;
+  }
+  layout_key_ = layout_key;
+  const std::size_t nseg = std::max<std::size_t>(layout.segments.size(), 1);
+  std::size_t gates = 0;
+  for (const PlanSegment& s : layout.segments) gates += s.count;
+  // Per-entry footprint: one segment's act + pass_src + out_bits + touch
+  // slices plus its boundary key plus node/map overhead.
+  const std::size_t entry_bytes =
+      10 * (gates / nseg) + 8 * (layout.total_boundary / nseg) + 160;
+  capacity_ = std::clamp<std::size_t>(budget_bytes_ / std::max<std::size_t>(entry_bytes, 1), 8,
+                                      std::size_t{1} << 18);
+}
+
+ConeMemo::Entry* ConeMemo::find(std::uint32_t segment, std::uint64_t hash,
+                                const std::vector<std::uint64_t>& key, std::size_t* after) {
+  const auto it = map_.find(hash);
+  if (it == map_.end()) return nullptr;
+  for (std::size_t k = *after; k < it->second.size(); ++k) {
+    const LruList::iterator li = it->second[k];
+    if (li->segment == segment && li->key == key) {
+      *after = k + 1;
+      lru_.splice(lru_.begin(), lru_, li);
+      return &*li;
+    }
+  }
+  *after = it->second.size();
+  return nullptr;
+}
+
+ConeMemo::Entry* ConeMemo::insert(std::uint32_t segment, std::uint64_t hash,
+                                  const std::vector<std::uint64_t>& key) {
+  if (lru_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    const auto vit = map_.find(victim.hash);
+    for (auto i = vit->second.begin(); i != vit->second.end(); ++i) {
+      if (&**i == &victim) {
+        vit->second.erase(i);
+        break;
+      }
+    }
+    if (vit->second.empty()) map_.erase(vit);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front();
+  Entry& e = lru_.front();
+  e.segment = segment;
+  e.hash = hash;
+  e.slice_id = ++next_slice_id_;  // unique forever: ids are never reused
+  e.key = key;
+  map_[hash].push_back(lru_.begin());
+  return &e;
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
 Planner::Planner(const Netlist& nl, const PlannerOptions& opts)
     : nl_(nl),
       opts_(opts),
@@ -185,10 +424,11 @@ Planner::Planner(const Netlist& nl, const PlannerOptions& opts)
   st_.resize(nw);
   needed_.assign(nw, 0);
   non_free_per_cycle_ = nl_.count_non_free();
+  netlist_key_ = netlist_content_key(nl_, opts_.mode);
+  layout_ = PlanLayout::build(nl_, opts_.cone_target_gates, netlist_key_);
 
+  const std::size_t roots = netlist::kFirstInputWire + nl_.inputs.size() + nl_.dffs.size();
   if (opts_.cache) {
-    const std::size_t roots = netlist::kFirstInputWire + nl_.inputs.size() + nl_.dffs.size();
-    netlist_key_ = netlist_content_key(nl_, opts_.mode);
     if (opts_.shared_cache != nullptr) {
       cache_ = opts_.shared_cache;
     } else {
@@ -199,8 +439,63 @@ Planner::Planner(const Netlist& nl, const PlannerOptions& opts)
       cache_ = owned_cache_.get();
     }
     cache_->ensure_sized(netlist_key_, nw, nl_.gates.size(), roots);
+  }
+  if (opts_.cone_memo) {
+    if (opts_.shared_cone_memo != nullptr) {
+      memo_ = opts_.shared_cone_memo;
+    } else {
+      owned_memo_ = std::make_unique<ConeMemo>(opts_.cone_memo_budget_bytes);
+      memo_ = owned_memo_.get();
+    }
+    memo_->ensure_sized(layout_.key, layout_);
+
+    // Dirty-sweep state: the previous-cycle snapshot and a CSR reverse index
+    // from root wires to the segments that read them.
+    const WireId first_gate = nl_.first_gate_wire();
+    prev_act_.resize(nl_.gates.size());
+    prev_pass_src_.resize(nl_.gates.size());
+    prev_bits_.resize(nw);
+    prev_sig_.resize(first_gate);
+    prev_touch_off_.resize(layout_.segments.size() + 1);
+    seg_changed_.assign(layout_.segments.size(), 1);
+    seg_dirty_.assign(layout_.segments.size(), 1);
+    slice_ids_.assign(layout_.segments.size(), 0);
+    backward_capacity_ = std::clamp<std::size_t>(
+        opts_.cone_memo_budget_bytes / (2 * std::max<std::size_t>(nl_.gates.size(), 1) + 128),
+        4, 1024);
+    for (const netlist::OutputPort& o : nl_.outputs) {
+      if (o.wire < first_gate) backward_root_wires_.push_back(o.wire);
+    }
+    for (const Dff& d : nl_.dffs) {
+      if (d.d < first_gate) backward_root_wires_.push_back(d.d);
+    }
+    std::sort(backward_root_wires_.begin(), backward_root_wires_.end());
+    backward_root_wires_.erase(
+        std::unique(backward_root_wires_.begin(), backward_root_wires_.end()),
+        backward_root_wires_.end());
+    root_consumer_offsets_.assign(first_gate + 1, 0);
+    for (const PlanSegment& seg : layout_.segments) {
+      for (std::uint32_t k = 0; k < seg.root_count; ++k) {
+        ++root_consumer_offsets_[seg.boundary[k] + 1];
+      }
+    }
+    for (WireId w = 0; w < first_gate; ++w) {
+      root_consumer_offsets_[w + 1] += root_consumer_offsets_[w];
+    }
+    root_consumers_.resize(root_consumer_offsets_[first_gate]);
+    std::vector<std::uint32_t> cursor(root_consumer_offsets_.begin(),
+                                      root_consumer_offsets_.end() - 1);
+    for (std::size_t si = 0; si < layout_.segments.size(); ++si) {
+      const PlanSegment& seg = layout_.segments[si];
+      for (std::uint32_t k = 0; k < seg.root_count; ++k) {
+        root_consumers_[cursor[seg.boundary[k]]++] = static_cast<std::uint32_t>(si);
+      }
+    }
+  }
+  if (cache_ != nullptr || memo_ != nullptr) {
     class_table_.resize(std::max<std::size_t>(16, next_pow2(2 * roots + 1)));
   }
+  slices_.reserve(layout_.segments.size());
 }
 
 Block Planner::fresh_fp() {
@@ -267,6 +562,7 @@ void Planner::reset(const netlist::BitVec& pub_bits) {
   }
 
   cur_ = nullptr;
+  prev_ok_ = false;
 }
 
 void Planner::begin_cycle(const netlist::BitVec& pub_stream) {
@@ -297,6 +593,8 @@ void Planner::begin_cycle(const netlist::BitVec& pub_stream) {
 }
 
 void Planner::build_signature() {
+  // Class ids are first-occurrence over the root sweep — the canonical
+  // whole-netlist entry signature.
   const WireId first_gate = nl_.first_gate_wire();
   sig_.clear();
   sig_.reserve(first_gate);
@@ -327,69 +625,220 @@ void Planner::build_signature() {
   }
 }
 
+void Planner::build_segment_key(std::size_t si, const PlanSegment& seg) {
+  // Cheap pure gathers: boundary roots contribute their root-signature
+  // words verbatim (pinning publicness/value/flip and the fingerprint
+  // equivalence pattern over the root sweep); boundary internals contribute
+  // their packed bits. The key deliberately carries no internal fingerprint
+  // structure — that is discrimination, not soundness (every adopted cone's
+  // fingerprint-dependent decisions are re-verified), and the common
+  // all-distinct fingerprint pattern then collapses onto one key. The low
+  // tag bit separates the two word kinds so they can never alias.
+  const std::uint8_t* bits = cur_bits_;
+  seg_key_.clear();
+  seg_key_.reserve(1 + seg.boundary.size());
+  seg_key_.push_back(static_cast<std::uint64_t>(si));
+  for (std::uint32_t k = 0; k < seg.root_count; ++k) {
+    seg_key_.push_back(static_cast<std::uint64_t>(sig_[seg.boundary[k]]) << 1 | 1u);
+  }
+  for (std::size_t k = seg.root_count; k < seg.boundary.size(); ++k) {
+    seg_key_.push_back(static_cast<std::uint64_t>(bits[seg.boundary[k]]) << 1);
+  }
+}
+
 void Planner::forward() {
+  // The root signature doubles as the cone dirty sweep's change detector
+  // and the segment keys' root words, so it is built whenever either reuse
+  // mechanism is on.
+  stitched_ = false;
+  if (cache_ != nullptr || memo_ != nullptr) build_signature();
   if (cache_ != nullptr) {
-    build_signature();
     const std::uint64_t h = fnv1a64(sig_);
-    const std::size_t mask = cache_->slots_.size() - 1;
-    std::size_t i = static_cast<std::size_t>(h) & mask;
-    for (;;) {
-      PlanCache::Slot& slot = cache_->slots_[i];
-      if (!slot.entry) {
-        // Miss with a free probe slot: classify into a new entry if the
-        // admission policy and capacity allow, else into scratch (uncached).
-        ++cache_misses_;
-        Entry* e = &scratch_;
-        if (cache_->size_ < cache_->capacity_ && cache_->admit(h)) {
-          slot.hash = h;
-          slot.entry = std::make_unique<Entry>();
-          slot.entry->sig = sig_;
-          ++cache_->size_;
-          e = slot.entry.get();
-        }
-        classify(*e);
+    if (Entry* e = cache_->find(h, sig_)) {
+      cur_bits_ = e->wire_bits.data();
+      if (verify_touch(*e, e->touch.data(), e->touch.size())) {
+        ++cache_hits_;
         cur_ = e;
         return;
       }
-      if (slot.hash == h && slot.entry->sig == sig_) {
-        if (verify_and_propagate(*slot.entry)) {
-          ++cache_hits_;
-          cur_ = slot.entry.get();
-          return;
-        }
-        // Signature matched but the XOR-linear fingerprint structure
-        // drifted: reclassify this cycle uncached. The entry keeps serving
-        // states that do match it.
-        ++cache_misses_;
-        classify(scratch_);
-        cur_ = &scratch_;
-        return;
-      }
-      i = (i + 1) & mask;
+      // Signature matched but the XOR-linear fingerprint structure drifted:
+      // reclassify this cycle uncached — clean cones still serve from the
+      // memo. The entry keeps serving states that do match it.
+      ++cache_misses_;
+      build_plan(scratch_);
+      cur_ = &scratch_;
+      return;
     }
+    ++cache_misses_;
+    Entry* e = cache_->insert(h, sig_);
+    if (e == nullptr) e = &scratch_;
+    build_plan(*e);
+    cur_ = e;
+    return;
   }
   ++cache_misses_;
-  classify(scratch_);
+  build_plan(scratch_);
   cur_ = &scratch_;
 }
 
-void Planner::classify(Entry& e) {
+void Planner::build_plan(Entry& e) {
   const std::size_t ng = nl_.gates.size();
-  const std::size_t nw = nl_.num_wires();
+  const std::size_t nseg = layout_.segments.size();
   e.act.resize(ng);
   e.pass_src.resize(ng);
-  e.wire_bits.resize(nw);
+  e.wire_bits.resize(nl_.num_wires());
+  e.touch.clear();
+  e.touch_off.assign(nseg + 1, 0);
   e.backward[0].filled = false;
   e.backward[1].filled = false;
+  cur_bits_ = e.wire_bits.data();
 
   const WireId first_gate = nl_.first_gate_wire();
-  const bool skipgate = opts_.mode == Mode::SkipGate;
-  const auto live_pub = [&](WireId w) { return st_[w].is_pub; };
+  for (WireId w = 0; w < first_gate; ++w) e.wire_bits[w] = pack_bits(st_[w]);
 
-  for (std::size_t i = 0; i < ng; ++i) {
+  if (memo_ == nullptr) {
+    for (std::size_t si = 0; si < nseg; ++si) {
+      e.touch_off[si] = static_cast<std::uint32_t>(e.touch.size());
+      classify_segment(e, layout_.segments[si]);
+    }
+    e.touch_off[nseg] = static_cast<std::uint32_t>(e.touch.size());
+    return;
+  }
+
+  // Dirty-region seeds: every segment reading a root whose signature word
+  // changed against the snapshot. Everything else starts clean and only
+  // becomes dirty if an upstream slice actually changes (the cascade stops
+  // at segments that reclassify to an identical slice).
+  const bool have_prev = prev_ok_;
+  std::fill(seg_dirty_.begin(), seg_dirty_.end(), have_prev ? 0 : 1);
+  if (have_prev) {
+    for (WireId w = 0; w < first_gate; ++w) {
+      if (sig_[w] != prev_sig_[w]) {
+        for (std::uint32_t k = root_consumer_offsets_[w]; k < root_consumer_offsets_[w + 1];
+             ++k) {
+          seg_dirty_[root_consumers_[k]] = 1;
+        }
+      }
+    }
+  }
+
+  const auto slice_changed = [&](const PlanSegment& seg) {
+    if (!have_prev) return true;
+    const std::size_t fg = seg.first_gate;
+    return std::memcmp(e.act.data() + fg, prev_act_.data() + fg, seg.count) != 0 ||
+           std::memcmp(e.pass_src.data() + fg, prev_pass_src_.data() + fg,
+                       seg.count * sizeof(WireId)) != 0 ||
+           std::memcmp(e.wire_bits.data() + first_gate + fg, prev_bits_.data() + first_gate + fg,
+                       seg.count) != 0;
+  };
+
+  for (std::size_t si = 0; si < nseg; ++si) {
+    const PlanSegment& seg = layout_.segments[si];
+    e.touch_off[si] = static_cast<std::uint32_t>(e.touch.size());
+    bool dirty = seg_dirty_[si] != 0;
+    if (!dirty) {
+      for (const std::uint32_t sj : seg.deps) {
+        if (seg_changed_[sj] != 0) {
+          dirty = true;
+          break;
+        }
+      }
+    }
+    if (!dirty) {
+      // Clean cone: adopt the snapshot slice with no key build or memo
+      // lookup. Verification still guards fingerprint drift.
+      if (adopt_segment(e, seg, prev_act_.data() + seg.first_gate,
+                        prev_pass_src_.data() + seg.first_gate,
+                        prev_bits_.data() + first_gate + seg.first_gate,
+                        prev_touch_.data() + prev_touch_off_[si],
+                        prev_touch_off_[si + 1] - prev_touch_off_[si])) {
+        ++cone_hits_;
+        seg_changed_[si] = 0;
+        continue;
+      }
+    }
+
+    // Dirty cone (or snapshot drift): consult the memo. Key-equal candidates
+    // can still fail verification (the key cannot see XOR-linear fingerprint
+    // structure), so walk them until one verifies.
+    build_segment_key(si, seg);
+    const std::uint64_t h = fnv1a64_u64(seg_key_);
+    const std::uint32_t s32 = static_cast<std::uint32_t>(si);
+    bool adopted = false;
+    std::size_t after = 0;
+    while (ConeMemo::Entry* m = memo_->find(s32, h, seg_key_, &after)) {
+      if (adopt_segment(e, seg, m->act.data(), m->pass_src.data(), m->out_bits.data(),
+                        m->touch.data(), m->touch.size())) {
+        ++cone_hits_;
+        if (slice_changed(seg)) {
+          seg_changed_[si] = 1;
+          slice_ids_[si] = m->slice_id;
+        } else {
+          seg_changed_[si] = 0;  // keep the snapshot's slice id: same content
+        }
+        adopted = true;
+        break;
+      }
+    }
+    if (adopted) continue;
+
+    // Miss (or every key-equal candidate drifted): reclassify this cone and
+    // record it, minting a fresh slice identity iff the bytes changed.
+    ++cone_misses_;
+    classify_segment(e, seg);
+    seg_changed_[si] = slice_changed(seg) ? 1 : 0;
+    if (ConeMemo::Entry* m = memo_->insert(s32, h, seg_key_)) {
+      const auto ab = e.act.begin() + static_cast<std::ptrdiff_t>(seg.first_gate);
+      const auto pb = e.pass_src.begin() + static_cast<std::ptrdiff_t>(seg.first_gate);
+      const auto wb =
+          e.wire_bits.begin() + static_cast<std::ptrdiff_t>(first_gate + seg.first_gate);
+      m->act.assign(ab, ab + seg.count);
+      m->pass_src.assign(pb, pb + seg.count);
+      m->out_bits.assign(wb, wb + seg.count);
+      m->touch.assign(e.touch.begin() + e.touch_off[si], e.touch.end());
+      if (seg_changed_[si] != 0) slice_ids_[si] = m->slice_id;
+    }
+  }
+  e.touch_off[nseg] = static_cast<std::uint32_t>(e.touch.size());
+
+  // Refresh the snapshot: roots, the touch index, and changed slices only
+  // (clean slices are already byte-identical in the snapshot).
+  std::copy(e.wire_bits.begin(), e.wire_bits.begin() + first_gate, prev_bits_.begin());
+  for (std::size_t si = 0; si < nseg; ++si) {
+    if (seg_changed_[si] == 0) continue;
+    const PlanSegment& seg = layout_.segments[si];
+    const std::size_t fg = seg.first_gate;
+    std::copy_n(e.act.data() + fg, seg.count, prev_act_.data() + fg);
+    std::copy_n(e.pass_src.data() + fg, seg.count, prev_pass_src_.data() + fg);
+    std::copy_n(e.wire_bits.data() + first_gate + fg, seg.count,
+                prev_bits_.data() + first_gate + fg);
+  }
+  prev_touch_ = e.touch;
+  prev_touch_off_ = e.touch_off;
+  std::copy(sig_.begin(), sig_.end(), prev_sig_.begin());
+  prev_ok_ = true;
+  stitched_ = true;
+}
+
+void Planner::classify_segment(Entry& e, const PlanSegment& seg) {
+  const WireId first_gate = nl_.first_gate_wire();
+  const bool skipgate = opts_.mode == Mode::SkipGate;
+  const auto wire_pub = [&](WireId w) { return (e.wire_bits[w] & 1) != 0; };
+  const auto state_of = [&](WireId w) {
+    const std::uint8_t b = e.wire_bits[w];
+    WireState s;
+    s.is_pub = (b & 1) != 0;
+    s.val = (b & 2) != 0;
+    s.flip = (b & 4) != 0;
+    s.fp = st_[w].fp;
+    return s;
+  };
+  const std::size_t gend = seg.first_gate + seg.count;
+
+  for (std::size_t i = seg.first_gate; i < gend; ++i) {
     const Gate g = nl_.gates[i];
-    const WireState& a = st_[g.a];
-    const WireState& b = st_[g.b];
+    const WireState a = state_of(g.a);
+    const WireState b = state_of(g.b);
     WireState out;
     PlanAct act;
     WireId src = 0;
@@ -412,7 +861,7 @@ void Planner::classify(Entry& e) {
           out = pub_state(one);
         } else {
           act = one ? PlanAct::PassC1 : PlanAct::PassC0;
-          out = st_[one ? netlist::kConst1 : netlist::kConst0];
+          out = state_of(one ? netlist::kConst1 : netlist::kConst0);
         }
       } else if (netlist::tt_ignores_a(g.tt)) {
         classify_unary(netlist::tt_restrict_a(g.tt, false), b, /*pass_is_a=*/false, act, out);
@@ -430,7 +879,7 @@ void Planner::classify(Entry& e) {
         // label from the needed-cone, so its producing gates are skipped.
         if (skipgate) {
           const WireId cancel = find_cancellation(nl_, e.act.data(), e.pass_src.data(), st_,
-                                                  live_pub, g.a, g.b, out.fp);
+                                                  wire_pub, g.a, g.b, out.fp);
           if (cancel != kNoWire) {
             act = PlanAct::PassSrc;
             src = cancel;
@@ -443,20 +892,40 @@ void Planner::classify(Entry& e) {
       out.fp = fresh_fp();
       out.flip = false;
     }
-    st_[first_gate + i] = out;
+    st_[first_gate + i].fp = out.fp;
     e.act[i] = static_cast<std::uint8_t>(act);
     e.pass_src[i] = src;
+    e.wire_bits[first_gate + i] = pack_bits(out);
+    // The touch list drives hit verification and the backward sweep: every
+    // non-Public action plus every fingerprint-dependent Public collapse
+    // (two secret inputs, category iii / constant-affine).
+    if (act != PlanAct::Public || (!a.is_pub && !b.is_pub)) {
+      e.touch.push_back(static_cast<std::uint32_t>(i));
+    }
   }
-
-  for (std::size_t w = 0; w < nw; ++w) e.wire_bits[w] = pack_bits(st_[w]);
 }
 
-bool Planner::verify_and_propagate(const Entry& e) {
+bool Planner::adopt_segment(Entry& e, const PlanSegment& seg, const std::uint8_t* act,
+                            const WireId* pass_src, const std::uint8_t* out_bits,
+                            const std::uint32_t* touch, std::size_t touch_count) {
+  const auto fg = static_cast<std::ptrdiff_t>(seg.first_gate);
+  std::copy_n(act, seg.count, e.act.begin() + fg);
+  std::copy_n(pass_src, seg.count, e.pass_src.begin() + fg);
+  std::copy_n(out_bits, seg.count,
+              e.wire_bits.begin() + static_cast<std::ptrdiff_t>(nl_.first_gate_wire()) + fg);
+  if (!verify_touch(e, touch, touch_count)) return false;
+  e.touch.insert(e.touch.end(), touch, touch + touch_count);
+  return true;
+}
+
+bool Planner::verify_touch(const Entry& e, const std::uint32_t* touch,
+                           std::size_t touch_count) {
   // Fingerprints are cycle state even on a hit: the same fresh_fp() draws
   // happen (one per category-iv gate, in gate order) and derived
   // fingerprints follow the cached actions, so the planner's state after a
   // verified hit is identical to a fresh classification. The snapshot makes
-  // a failed verification side-effect free.
+  // a failed verification side-effect free. Untouched gates are Public with
+  // a public input: no fingerprint exists, no decision can drift.
   const std::uint64_t fp_ctr = fp_ctr_;
   const std::size_t fp_pos = fp_pos_;
   const auto fp_buf = fp_buf_;
@@ -467,7 +936,8 @@ bool Planner::verify_and_propagate(const Entry& e) {
   const auto wire_flip = [&](WireId w) { return (e.wire_bits[w] & 4) != 0; };
 
   bool ok = true;
-  for (std::size_t i = 0; i < nl_.gates.size() && ok; ++i) {
+  for (std::size_t t = 0; t < touch_count && ok; ++t) {
+    const std::size_t i = touch[t];
     const WireId w = first_gate + static_cast<WireId>(i);
     const Gate g = nl_.gates[i];
     const PlanAct act = static_cast<PlanAct>(e.act[i]);
@@ -475,8 +945,8 @@ bool Planner::verify_and_propagate(const Entry& e) {
     // Re-derive the expected action for every gate whose classification can
     // depend on a fingerprint comparison — both secret inputs in SkipGate
     // mode — mirroring the forward pass branch for branch (the public/flip
-    // structure is pinned by the signature; only fingerprints can drift).
-    // Conventional mode makes no fingerprint comparison.
+    // structure is pinned by the signature/key; only fingerprints can
+    // drift). Conventional mode makes no fingerprint comparison.
     if (skipgate && !wire_pub(g.a) && !wire_pub(g.b)) {
       PlanAct expect;
       WireId expect_src = kNoWire;
@@ -529,29 +999,95 @@ bool Planner::wire_public(WireId w) const { return (cur_->wire_bits[w] & 1) != 0
 bool Planner::wire_value(WireId w) const { return (cur_->wire_bits[w] & 2) != 0; }
 
 CyclePlan Planner::finish(bool is_final) {
-  Entry::Backward& b = cur_->backward[is_final ? 1 : 0];
-  if (!b.filled) backward_fill(*cur_, b, is_final);
+  PlanCache::Backward* b = &cur_->backward[is_final ? 1 : 0];
+  if (!b->filled) {
+    // Stitched cycles first probe the backward memo: the slice-id
+    // composition exactly identifies the forward plan's gate-range bytes,
+    // which — together with is_final and the root wires the sweep reads
+    // directly — fully determine the needed/emit result.
+    bool memoize = false;
+    std::uint64_t h = 0;
+    if (memo_ != nullptr && stitched_) {
+      backward_key_.clear();
+      backward_key_.reserve(slice_ids_.size() + backward_root_wires_.size() + 1);
+      backward_key_.push_back(is_final ? 1 : 0);
+      backward_key_.insert(backward_key_.end(), slice_ids_.begin(), slice_ids_.end());
+      for (const WireId w : backward_root_wires_) {
+        backward_key_.push_back(cur_->wire_bits[w]);
+      }
+      h = fnv1a64_u64(backward_key_);
+      if (const auto it = backward_map_.find(h); it != backward_map_.end()) {
+        for (const BackwardList::iterator li : it->second) {
+          if (li->key == backward_key_) {
+            backward_lru_.splice(backward_lru_.begin(), backward_lru_, li);
+            b = &li->b;
+            break;
+          }
+        }
+      }
+      memoize = !b->filled;
+    }
+    if (!b->filled) backward_fill(*cur_, *b, is_final);
+    if (memoize) {
+      if (backward_lru_.size() >= backward_capacity_) {
+        const BackwardSlot& victim = backward_lru_.back();
+        const auto vit = backward_map_.find(victim.hash);
+        for (auto i = vit->second.begin(); i != vit->second.end(); ++i) {
+          if (&**i == &victim) {
+            vit->second.erase(i);
+            break;
+          }
+        }
+        if (vit->second.empty()) backward_map_.erase(vit);
+        backward_lru_.pop_back();
+      }
+      backward_lru_.emplace_front();
+      BackwardSlot& slot = backward_lru_.front();
+      slot.hash = h;
+      slot.key = backward_key_;
+      slot.b = *b;
+      backward_map_[h].push_back(backward_lru_.begin());
+      b = &backward_lru_.front().b;
+    }
+  }
+
+  slices_.clear();
+  const bool conventional = opts_.mode == Mode::Conventional;
+  for (std::size_t si = 0; si < layout_.segments.size(); ++si) {
+    const PlanSegment& seg = layout_.segments[si];
+    PlanSlice slice;
+    slice.act = cur_->act.data() + seg.first_gate;
+    slice.pass_src = cur_->pass_src.data() + seg.first_gate;
+    slice.emit = b->emit.data() + seg.first_gate;
+    slice.live = b->live.data() + seg.first_gate;
+    if (!conventional) {
+      slice.work = b->work.data() + b->work_off[si];
+      slice.work_count = b->work_off[si + 1] - b->work_off[si];
+    }
+    slice.first_gate = seg.first_gate;
+    slice.count = seg.count;
+    slices_.push_back(slice);
+  }
 
   CyclePlan plan;
-  plan.act = cur_->act.data();
-  plan.pass_src = cur_->pass_src.data();
+  plan.slices = slices_.data();
+  plan.num_slices = slices_.size();
   plan.wire_bits = cur_->wire_bits.data();
-  plan.emit = b.emit.data();
-  plan.live = b.live.data();
   plan.num_gates = nl_.gates.size();
   plan.num_wires = nl_.num_wires();
-  plan.emitted = b.emitted;
+  plan.emitted = b->emitted;
   plan.is_final = is_final;
   plan.sample = nl_.outputs_every_cycle || is_final;
   return plan;
 }
 
-void Planner::backward_fill(const Entry& e, Entry::Backward& b, bool is_final) {
+void Planner::backward_fill(const Entry& e, PlanCache::Backward& b, bool is_final) {
   const std::size_t ng = nl_.gates.size();
-  b.emit.resize(ng);
-  b.live.resize(ng);
+  b.emit.assign(ng, 0);
+  b.live.assign(ng, 0);
   b.emitted = 0;
   b.filled = true;
+  if (ng == 0) return;
 
   if (opts_.mode == Mode::Conventional) {
     // Conventional GC garbles every non-affine gate unconditionally.
@@ -579,36 +1115,31 @@ void Planner::backward_fill(const Entry& e, Entry::Backward& b, bool is_final) {
     }
   }
 
+  // Only touched gates can be needed or emit: untouched gates are Public
+  // (no label), and `needed` is only ever set on secret wires. Sweep the
+  // touch list in reverse gate order.
   const WireId first_gate = nl_.first_gate_wire();
-  for (std::size_t i = ng; i-- > 0;) {
+  for (std::size_t t = e.touch.size(); t-- > 0;) {
+    const std::size_t i = e.touch[t];
     const WireId w = first_gate + static_cast<WireId>(i);
-    if (!needed_[w]) {
-      b.emit[i] = 0;
-      continue;
-    }
+    if (!needed_[w]) continue;
     const Gate g = nl_.gates[i];
     switch (static_cast<PlanAct>(e.act[i])) {
       case PlanAct::Public:
-        b.emit[i] = 0;
         break;
       case PlanAct::PassA:
-        b.emit[i] = 0;
         needed_[g.a] = 1;
         break;
       case PlanAct::PassB:
-        b.emit[i] = 0;
         needed_[g.b] = 1;
         break;
       case PlanAct::PassC0:
       case PlanAct::PassC1:
-        b.emit[i] = 0;  // constants are always bound; nothing to propagate
-        break;
+        break;  // constants are always bound; nothing to propagate
       case PlanAct::PassSrc:
-        b.emit[i] = 0;
         needed_[e.pass_src[i]] = 1;
         break;
       case PlanAct::FreeXor:
-        b.emit[i] = 0;
         needed_[g.a] = 1;
         needed_[g.b] = 1;
         break;
@@ -620,10 +1151,25 @@ void Planner::backward_fill(const Entry& e, Entry::Backward& b, bool is_final) {
     }
   }
 
-  for (std::size_t i = 0; i < ng; ++i) {
+  for (const std::uint32_t i : e.touch) {
     b.live[i] = (needed_[first_gate + i] || b.emit[i]) ? 1 : 0;
     b.emitted += b.emit[i];
   }
+
+  // Per-slice work lists: the live subset of each segment's touch sublist,
+  // as slice-relative indices.
+  const std::size_t nseg = layout_.segments.size();
+  b.work.clear();
+  b.work_off.assign(nseg + 1, 0);
+  for (std::size_t si = 0; si < nseg; ++si) {
+    b.work_off[si] = static_cast<std::uint32_t>(b.work.size());
+    const std::uint32_t fg = layout_.segments[si].first_gate;
+    for (std::uint32_t t = e.touch_off[si]; t < e.touch_off[si + 1]; ++t) {
+      const std::uint32_t i = e.touch[t];
+      if (b.live[i] != 0) b.work.push_back(i - fg);
+    }
+  }
+  b.work_off[nseg] = static_cast<std::uint32_t>(b.work.size());
 }
 
 void Planner::latch(const CyclePlan& plan) {

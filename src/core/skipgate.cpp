@@ -15,13 +15,18 @@ namespace {
 using netlist::BitVec;
 using netlist::Netlist;
 
-PlannerOptions planner_options(const RunOptions& o, PlanCache* shared) {
+PlannerOptions planner_options(const RunOptions& o, PlanCache* shared, ConeMemo* cones) {
   PlannerOptions p;
   p.mode = o.mode;
   p.seed = o.seed;
   p.cache = o.exec.plan_cache;
   p.cache_budget_bytes = o.exec.plan_cache_budget_bytes;
   p.shared_cache = shared;
+  // plan_cache == false is the from-scratch baseline: no reuse of any kind.
+  p.cone_memo = o.exec.plan_cache && o.exec.cone_memo;
+  p.cone_memo_budget_bytes = o.exec.cone_memo_budget_bytes;
+  p.shared_cone_memo = cones;
+  p.cone_target_gates = o.exec.cone_target_gates;
   return p;
 }
 
@@ -126,8 +131,8 @@ struct LockstepParty {
 template <typename Party>
 RunResult run_party(const Netlist& nl, const RunOptions& opts, const BitVec& pub_bits,
                     const StreamProvider* streams, bool halt_driven, std::uint64_t cc,
-                    PlanCache* cache, Party& party) {
-  Planner planner(nl, planner_options(opts, cache));
+                    PlanCache* cache, ConeMemo* cones, Party& party) {
+  Planner planner(nl, planner_options(opts, cache, cones));
   planner.reset(pub_bits);
   party.reset();
 
@@ -160,6 +165,8 @@ RunResult run_party(const Netlist& nl, const RunOptions& opts, const BitVec& pub
   stats.skipped_non_xor = stats.non_xor_slots - stats.garbled_non_xor;
   stats.plan_cache_hits = planner.cache_hits();
   stats.plan_cache_misses = planner.cache_misses();
+  stats.cone_hits = planner.cone_hits();
+  stats.cone_misses = planner.cone_misses();
   result.stats = stats;
   if (!result.sampled_outputs.empty()) result.final_outputs = result.sampled_outputs.back();
   return result;
@@ -173,7 +180,7 @@ RunResult run_lockstep(const Netlist& nl, const RunOptions& opts, const BitVec& 
       GarblerParty(nl, opts, duplex.garbler_end(), streams, alice_bits, pub_bits),
       EvaluatorParty(nl, opts, duplex.evaluator_end(), streams, bob_bits)};
   RunResult result = run_party(nl, opts, pub_bits, streams, halt_driven, cc,
-                               opts.exec.garbler_plan_cache, party);
+                               opts.exec.garbler_plan_cache, opts.exec.garbler_cone_memo, party);
   result.stats.comm = duplex.stats();
   result.stats.transport_high_water_blocks = duplex.high_water_blocks();
   return result;
@@ -206,7 +213,7 @@ RunResult run_threaded(const Netlist& nl, const RunOptions& opts, const BitVec& 
     try {
       GarblerParty party(nl, opts, duplex.garbler_end(), streams, alice_bits, pub_bits);
       result = run_party(nl, opts, pub_bits, streams, halt_driven, cc,
-                         opts.exec.garbler_plan_cache, party);
+                         opts.exec.garbler_plan_cache, opts.exec.garbler_cone_memo, party);
     } catch (...) {
       garbler_error = std::current_exception();
       duplex.close();
@@ -218,7 +225,7 @@ RunResult run_threaded(const Netlist& nl, const RunOptions& opts, const BitVec& 
   try {
     EvaluatorParty party(nl, opts, duplex.evaluator_end(), streams, bob_bits);
     (void)run_party(nl, opts, pub_bits, streams, halt_driven, cc,
-                    opts.exec.evaluator_plan_cache, party);
+                    opts.exec.evaluator_plan_cache, opts.exec.evaluator_cone_memo, party);
   } catch (...) {
     evaluator_error = std::current_exception();
     duplex.close();
@@ -260,11 +267,17 @@ RunResult SkipGateDriver::run(const BitVec& alice_bits, const BitVec& bob_bits,
   if (cc == 0) throw std::invalid_argument("skipgate: zero cycles requested");
 
   if (opts_.exec.transport == TransportKind::ThreadedPipe) {
-    // PlanCache is not thread-safe; the two party threads must not share one.
+    // Neither PlanCache nor ConeMemo is thread-safe; the two party threads
+    // must not share one.
     if (opts_.exec.garbler_plan_cache != nullptr &&
         opts_.exec.garbler_plan_cache == opts_.exec.evaluator_plan_cache) {
       throw std::invalid_argument(
           "skipgate: threaded transport requires distinct per-party plan caches");
+    }
+    if (opts_.exec.garbler_cone_memo != nullptr &&
+        opts_.exec.garbler_cone_memo == opts_.exec.evaluator_cone_memo) {
+      throw std::invalid_argument(
+          "skipgate: threaded transport requires distinct per-party cone memos");
     }
     return run_threaded(nl_, opts_, alice_bits, bob_bits, pub_bits, streams, halt_driven, cc);
   }

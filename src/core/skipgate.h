@@ -42,6 +42,12 @@ struct RunStats {
   /// Cycles whose classification was served from the plan cache / computed.
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
+  /// Cone-granular memo counters: segments adopted from / classified into
+  /// the cone memo on cycles the whole-netlist plan cache missed. A cone hit
+  /// is work the flat cache could not save (similar-but-not-identical entry
+  /// states, e.g. ARM loop iterations differing only in a public counter).
+  std::uint64_t cone_hits = 0;
+  std::uint64_t cone_misses = 0;
   /// Peak undelivered transport backlog, in 16-byte blocks.
   std::uint64_t transport_high_water_blocks = 0;
   gc::CommStats comm;
@@ -57,6 +63,11 @@ struct RunStats {
     const std::uint64_t total = plan_cache_hits + plan_cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(plan_cache_hits) / static_cast<double>(total);
   }
+  /// Fraction of cache-missed cycles' cones stitched from the cone memo.
+  [[nodiscard]] double cone_hit_ratio() const {
+    const std::uint64_t total = cone_hits + cone_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cone_hits) / static_cast<double>(total);
+  }
 };
 
 enum class TransportKind : std::uint8_t {
@@ -68,6 +79,8 @@ enum class TransportKind : std::uint8_t {
 struct ExecOptions {
   TransportKind transport = TransportKind::InMemory;
   /// Reuse classification across cycles with identical public entry state.
+  /// false disables all plan reuse, including the cone memo (the
+  /// from-scratch baseline for differential tests).
   bool plan_cache = true;
   std::size_t plan_cache_budget_bytes = 64u << 20;
   /// Optional externally owned plan caches that persist across runs of the
@@ -76,6 +89,19 @@ struct ExecOptions {
   /// warm cache skips classification for every repeated execution.
   PlanCache* garbler_plan_cache = nullptr;
   PlanCache* evaluator_plan_cache = nullptr;
+  /// Cone-granular incremental planning: on whole-netlist cache misses,
+  /// stitch the plan from per-cone memo hits and re-classify only dirty
+  /// cones. Never changes results (every adopted cone is re-verified).
+  bool cone_memo = true;
+  std::size_t cone_memo_budget_bytes = 32u << 20;
+  /// Segmentation granularity (gates per cone, approximate; 0 = whole
+  /// netlist as one cone). Public; both parties derive the same layout.
+  std::size_t cone_target_gates = 512;
+  /// Optional externally owned cone memos that persist across runs (one per
+  /// party, like the plan caches). Cones hit across *similar* entry states,
+  /// so a warm memo helps even when the public trajectory does not repeat.
+  ConeMemo* garbler_cone_memo = nullptr;
+  ConeMemo* evaluator_cone_memo = nullptr;
   /// ThreadedPipe ring capacity per direction, in 16-byte blocks; this is
   /// both the garbler's run-ahead window and the transport memory bound.
   std::size_t pipe_blocks = 1u << 15;

@@ -6,6 +6,7 @@
 // through the full driver.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 
 #include "arm/arm2gc.h"
@@ -15,6 +16,7 @@
 #include "core/plan.h"
 #include "core/skipgate.h"
 #include "crypto/rng.h"
+#include "programs/programs.h"
 #include "test_util.h"
 
 namespace {
@@ -29,25 +31,46 @@ using a2gtest::to_bits;
 void expect_plans_equal(const CyclePlan& x, const CyclePlan& y) {
   ASSERT_EQ(x.num_gates, y.num_gates);
   ASSERT_EQ(x.num_wires, y.num_wires);
+  ASSERT_EQ(x.num_slices, y.num_slices);
   EXPECT_EQ(x.emitted, y.emitted);
   EXPECT_EQ(x.is_final, y.is_final);
   EXPECT_EQ(x.sample, y.sample);
-  EXPECT_EQ(0, std::memcmp(x.act, y.act, x.num_gates));
-  EXPECT_EQ(0, std::memcmp(x.pass_src, y.pass_src, x.num_gates * sizeof(netlist::WireId)));
   EXPECT_EQ(0, std::memcmp(x.wire_bits, y.wire_bits, x.num_wires));
-  EXPECT_EQ(0, std::memcmp(x.emit, y.emit, x.num_gates));
-  EXPECT_EQ(0, std::memcmp(x.live, y.live, x.num_gates));
+  for (std::size_t si = 0; si < x.num_slices; ++si) {
+    const core::PlanSlice& a = x.slices[si];
+    const core::PlanSlice& b = y.slices[si];
+    ASSERT_EQ(a.first_gate, b.first_gate);
+    ASSERT_EQ(a.count, b.count);
+    EXPECT_EQ(0, std::memcmp(a.act, b.act, a.count));
+    EXPECT_EQ(0, std::memcmp(a.pass_src, b.pass_src, a.count * sizeof(netlist::WireId)));
+    EXPECT_EQ(0, std::memcmp(a.emit, b.emit, a.count));
+    EXPECT_EQ(0, std::memcmp(a.live, b.live, a.count));
+    // The work list is the iteration set the sessions actually execute;
+    // diverging lists would desynchronize the transport stream even with
+    // identical emit/live bytes.
+    ASSERT_EQ(a.work_count, b.work_count);
+    if (a.work_count > 0) {
+      ASSERT_NE(a.work, nullptr);
+      ASSERT_NE(b.work, nullptr);
+      EXPECT_EQ(0, std::memcmp(a.work, b.work, a.work_count * sizeof(std::uint32_t)));
+    }
+  }
 }
 
 /// Random sequential netlist: mixed-owner inputs, randomly initialized
 /// flip-flops with random feedback, random 2-input gates and outputs.
-netlist::Netlist random_seq_netlist(crypto::CtrRng& rng) {
+/// `streamed_pub` adds that many per-cycle public inputs (bit indexes
+/// 0..streamed_pub-1 of the pub stream) so entry states vary cycle to cycle.
+netlist::Netlist random_seq_netlist(crypto::CtrRng& rng, std::uint32_t streamed_pub = 0) {
   netlist::Netlist nl;
   constexpr std::uint32_t kInPerParty = 3;
   for (std::uint32_t i = 0; i < kInPerParty; ++i) {
     nl.inputs.push_back(netlist::Input{netlist::Owner::Alice, false, i, ""});
     nl.inputs.push_back(netlist::Input{netlist::Owner::Bob, false, i, ""});
     nl.inputs.push_back(netlist::Input{netlist::Owner::Public, false, i, ""});
+  }
+  for (std::uint32_t i = 0; i < streamed_pub; ++i) {
+    nl.inputs.push_back(netlist::Input{netlist::Owner::Public, true, i, ""});
   }
   constexpr std::uint32_t kDffs = 4;
   for (std::uint32_t i = 0; i < kDffs; ++i) {
@@ -354,6 +377,252 @@ TEST(PlanCache, RejectsReuseAcrossNetlists) {
   opts.shared_cache = &cache;
   Planner p1(nl1, opts);
   EXPECT_THROW(Planner p2(nl2, opts), std::invalid_argument);
+}
+
+// --- cone-granular incremental planning ----------------------------------------
+
+/// Builds a netlist whose entry state is controlled by a `width`-bit
+/// streamed public selector mixed with party secrets, so each selector
+/// value is a distinct entry state with a non-trivial plan.
+netlist::Netlist selector_netlist(std::uint32_t width) {
+  builder::CircuitBuilder cb;
+  const builder::Wire a = cb.input(netlist::Owner::Alice, 0);
+  const builder::Wire b = cb.input(netlist::Owner::Bob, 0);
+  builder::Bus sel;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    sel.push_back(cb.input(netlist::Owner::Public, i, /*streamed=*/true));
+  }
+  builder::Wire acc = cb.and_(a, b);
+  for (const builder::Wire s : sel) acc = cb.and_(cb.xor_(acc, s), cb.or_(a, s));
+  cb.output(acc, "y");
+  cb.set_outputs_every_cycle(true);
+  return cb.take();
+}
+
+TEST(PlanCache, LruEvictionBoundsEntries) {
+  // A 1-byte budget clamps to the 4-entry capacity floor. Drive the 8
+  // distinct selector states once each: the cache holds only the last 4
+  // (evicting the first 4), so revisiting recent states hits and revisiting
+  // the oldest one misses and re-evicts.
+  const netlist::Netlist nl = selector_netlist(3);
+  core::PlanCache cache(1);  // first-sight admission, capacity floor of 4
+  PlannerOptions opts;
+  opts.shared_cache = &cache;
+  Planner planner(nl, opts);
+  planner.reset({});
+
+  const auto drive = [&](std::uint64_t v) {
+    planner.begin_cycle(to_bits(v, 3));
+    planner.forward();
+    (void)planner.finish(/*is_final=*/false);
+  };
+  for (std::uint64_t v = 0; v < 8; ++v) drive(v);
+  EXPECT_EQ(cache.capacity(), 4u);
+  EXPECT_EQ(cache.entries(), 4u);
+  EXPECT_EQ(cache.evictions(), 4u);
+  EXPECT_EQ(planner.cache_hits(), 0u);
+
+  for (const std::uint64_t v : {7u, 6u, 5u, 4u}) drive(v);  // the retained four
+  EXPECT_EQ(planner.cache_hits(), 4u);
+  drive(0);  // evicted on state 4's insertion
+  EXPECT_EQ(planner.cache_hits(), 4u);
+  EXPECT_EQ(cache.entries(), 4u);
+  EXPECT_EQ(cache.evictions(), 5u);
+}
+
+TEST(ConeMemo, LruEvictionBoundsEntries) {
+  // Same structure at cone granularity: a 1-byte budget clamps to the
+  // 8-entry floor; the 16 distinct selector states keep only the last 8.
+  const netlist::Netlist nl = selector_netlist(4);
+  core::ConeMemo memo(1);  // capacity floor of 8
+  PlannerOptions opts;
+  opts.cache = false;  // exercise the memo on every cycle
+  opts.shared_cone_memo = &memo;
+  Planner planner(nl, opts);
+  planner.reset({});
+
+  const auto drive = [&](std::uint64_t v) {
+    planner.begin_cycle(to_bits(v, 4));
+    planner.forward();
+    (void)planner.finish(/*is_final=*/false);
+  };
+  ASSERT_EQ(planner.layout().segments.size(), 1u);
+  for (std::uint64_t v = 0; v < 16; ++v) drive(v);
+  EXPECT_EQ(memo.capacity(), 8u);
+  EXPECT_EQ(memo.entries(), 8u);
+  EXPECT_EQ(memo.evictions(), 8u);
+  EXPECT_EQ(planner.cone_hits(), 0u);
+  EXPECT_EQ(planner.cone_misses(), 16u);
+
+  for (std::uint64_t v = 15; v >= 8; --v) drive(v);  // the retained eight
+  EXPECT_EQ(planner.cone_hits(), 8u);
+  EXPECT_EQ(memo.evictions(), 8u);
+  drive(0);  // evicted: reclassified and re-admitted, evicting the LRU
+  EXPECT_EQ(planner.cone_hits(), 8u);
+  EXPECT_EQ(planner.cone_misses(), 17u);
+  EXPECT_EQ(memo.entries(), 8u);
+  EXPECT_EQ(memo.evictions(), 9u);
+}
+
+TEST(ConeMemo, RejectsReuseAcrossNetlistsAndLayouts) {
+  crypto::CtrRng rng(crypto::block_from_u64(27182));
+  const netlist::Netlist nl1 = random_seq_netlist(rng);
+  netlist::Netlist nl2 = nl1;
+  nl2.gates.push_back(netlist::Gate{netlist::kConst0, netlist::kConst1, netlist::kTtAnd});
+  core::ConeMemo memo;
+  PlannerOptions opts;
+  opts.shared_cone_memo = &memo;
+  Planner p1(nl1, opts);
+  EXPECT_THROW(Planner p2(nl2, opts), std::invalid_argument);
+  // Same netlist, different segmentation: also a different plan contract.
+  PlannerOptions finer = opts;
+  finer.cone_target_gates = 4;
+  EXPECT_THROW(Planner p3(nl1, finer), std::invalid_argument);
+}
+
+TEST(ConeMemo, ThreadedTransportRequiresDistinctMemos) {
+  const netlist::Netlist nl = selector_netlist(3);
+  core::ConeMemo memo;
+  core::RunOptions opts;
+  opts.fixed_cycles = 1;
+  opts.exec.transport = core::TransportKind::ThreadedPipe;
+  opts.exec.garbler_cone_memo = &memo;
+  opts.exec.evaluator_cone_memo = &memo;
+  EXPECT_THROW(core::SkipGateDriver(nl, opts).run({false}, {false}), std::invalid_argument);
+}
+
+/// Differential fuzz (both party sides): randomized sequential netlists
+/// driven through randomized public-input sequences; the incremental
+/// (cone-stitched, segmented) plan must be byte-equal to a from-scratch
+/// plan on every cycle. A2G_PLAN_FUZZ_SEEDS scales the sweep (CI sanitizer
+/// job runs a deeper pass).
+TEST(ConeDifferentialFuzz, StitchedPlansByteEqualFromScratchEveryCycle) {
+  int seeds = 12;
+  if (const char* env = std::getenv("A2G_PLAN_FUZZ_SEEDS")) seeds = std::atoi(env);
+  constexpr std::uint64_t kCycles = 20;
+  constexpr std::uint32_t kStreamedPub = 3;
+
+  for (int seed = 0; seed < seeds; ++seed) {
+    crypto::CtrRng rng(crypto::block_from_u64(static_cast<std::uint64_t>(seed) * 65537 + 11));
+    const netlist::Netlist nl = random_seq_netlist(rng, kStreamedPub);
+    const netlist::BitVec pub = to_bits(rng.next_u64(), 4);
+    std::vector<netlist::BitVec> pub_streams;
+    for (std::uint64_t c = 0; c < kCycles; ++c) {
+      pub_streams.push_back(to_bits(rng.next_u64(), kStreamedPub));
+    }
+
+    for (const Mode mode : {Mode::SkipGate, Mode::Conventional}) {
+      PlannerOptions inc;
+      inc.mode = mode;
+      inc.cone_target_gates = 4;  // force several segments on small netlists
+      PlannerOptions fresh = inc;
+      fresh.cache = false;
+      fresh.cone_memo = false;
+
+      // Garbler-side and evaluator-side incremental planners (independent
+      // instances fed identical public data) plus a from-scratch reference.
+      Planner pg(nl, inc);
+      Planner pe(nl, inc);
+      Planner pf(nl, fresh);
+      pg.reset(pub);
+      pe.reset(pub);
+      pf.reset(pub);
+
+      for (std::uint64_t cycle = 0; cycle < kCycles; ++cycle) {
+        const netlist::BitVec& sp = pub_streams[cycle];
+        pg.begin_cycle(sp);
+        pe.begin_cycle(sp);
+        pf.begin_cycle(sp);
+        pg.forward();
+        pe.forward();
+        pf.forward();
+        const bool is_final = cycle + 1 == kCycles;
+        const CyclePlan a = pg.finish(is_final);
+        const CyclePlan b = pe.finish(is_final);
+        const CyclePlan c = pf.finish(is_final);
+        expect_plans_equal(a, b);
+        expect_plans_equal(a, c);
+        if (!is_final) {
+          pg.latch(a);
+          pe.latch(b);
+          pf.latch(c);
+        }
+      }
+      ASSERT_GT(pg.layout().segments.size(), 1u) << "seed " << seed;
+      EXPECT_GT(pg.cone_hits() + pg.cone_misses(), 0u) << "seed " << seed;
+      EXPECT_EQ(pg.cone_hits(), pe.cone_hits()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ConeMemo, DriverResultsIdenticalWithConeMemoOnAndOff) {
+  // Acceptance pin: the full protocol produces bit-identical outputs,
+  // garbled_non_xor counts and communication bytes with cone memoization
+  // enabled vs disabled, on randomized sequential circuits with per-cycle
+  // public inputs (so whole-netlist cache misses occur and cones matter).
+  crypto::CtrRng rng(crypto::block_from_u64(515253));
+  for (int seed = 0; seed < 4; ++seed) {
+    const netlist::Netlist nl = random_seq_netlist(rng, 2);
+    const netlist::BitVec a = to_bits(rng.next_u64(), 4);
+    const netlist::BitVec b = to_bits(rng.next_u64(), 4);
+    const netlist::BitVec p = to_bits(rng.next_u64(), 4);
+    const std::uint64_t pub_word = rng.next_u64();
+    core::StreamProvider streams;
+    streams.pub = [&](std::uint64_t c) { return to_bits(pub_word >> (2 * c), 2); };
+
+    for (const Mode mode : {Mode::SkipGate, Mode::Conventional}) {
+      core::RunOptions on;
+      on.mode = mode;
+      on.fixed_cycles = 12;
+      on.exec.cone_target_gates = 4;
+      core::RunOptions off = on;
+      off.exec.cone_memo = false;
+
+      const core::RunResult r_on = core::SkipGateDriver(nl, on).run(a, b, p, &streams);
+      const core::RunResult r_off = core::SkipGateDriver(nl, off).run(a, b, p, &streams);
+      EXPECT_EQ(r_on.sampled_outputs, r_off.sampled_outputs);
+      EXPECT_EQ(r_on.final_outputs, r_off.final_outputs);
+      EXPECT_EQ(r_on.stats.garbled_non_xor, r_off.stats.garbled_non_xor);
+      EXPECT_EQ(r_on.stats.skipped_non_xor, r_off.stats.skipped_non_xor);
+      EXPECT_EQ(r_on.stats.comm.total(), r_off.stats.comm.total());
+      EXPECT_EQ(r_off.stats.cone_hits + r_off.stats.cone_misses, 0u);
+    }
+  }
+}
+
+TEST(ConeMemo, ArmConeHitsOnCyclesTheFlatCacheMissed) {
+  // The headline scenario (an ARM loop workload): a cold run's cycles are
+  // distinct whole-netlist entry states — loop iterations differ in the
+  // public counter — so the flat PlanCache misses on every cycle, but most
+  // of the 42k-gate core's cones recur across iterations and stitch from
+  // the memo.
+  const programs::Program prog = programs::hamming(2);
+  const arm::Arm2Gc machine(prog.cfg, prog.words);
+  const std::vector<std::uint32_t> a = {0xDEADBEEFu, 0x0F0F0F0Fu};
+  const std::vector<std::uint32_t> b = {0x12345678u, 0xFF00FF00u};
+  const arm::Arm2GcResult expect = machine.run_reference(a, b);
+
+  core::ExecOptions cone_on;
+  core::ExecOptions cone_off;
+  cone_off.cone_memo = false;
+  const arm::Arm2GcResult r_on =
+      machine.run(a, b, 1u << 20, gc::Scheme::HalfGates, cone_on);
+  const arm::Arm2GcResult r_off =
+      machine.run(a, b, 1u << 20, gc::Scheme::HalfGates, cone_off);
+
+  EXPECT_EQ(r_on.outputs, expect.outputs);
+  EXPECT_EQ(r_on.outputs, r_off.outputs);
+  EXPECT_EQ(r_on.cycles, r_off.cycles);
+  EXPECT_EQ(r_on.stats.garbled_non_xor, r_off.stats.garbled_non_xor);
+  EXPECT_EQ(r_on.stats.comm.total(), r_off.stats.comm.total());
+  // The transient flat cache misses on every first-seen state (the loop
+  // counter makes every cycle's whole-netlist state distinct)...
+  EXPECT_GT(r_on.stats.plan_cache_misses, 0u);
+  // ...and the cone memo converts most of each missed cycle's cones into
+  // cone hits.
+  EXPECT_GT(r_on.stats.cone_hits, 0u);
+  EXPECT_GT(r_on.stats.cone_hit_ratio(), 0.4);  // measured 0.49 (deterministic)
+  EXPECT_EQ(r_off.stats.cone_hits + r_off.stats.cone_misses, 0u);
 }
 
 }  // namespace
