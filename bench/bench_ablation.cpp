@@ -160,5 +160,54 @@ int main(int argc, char** argv) {
                             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
     }
   }
+
+  benchutil::header("Ablation 6: OT backend (ideal stand-in vs IKNP extension, Hamming 160)");
+  {
+    // The OT phase of a full garbled-ARM run: Bob's 160 input bits ride one
+    // reset batch. Ideal ships the label pair (32 B/choice); IKNP pays the
+    // kappa-bit column plus two hashed ciphertexts per choice and a one-time
+    // base phase that a warm session amortizes away. Everything but the OT
+    // traffic is bit-identical across backends (pinned in tests/ot_test.cpp).
+    const programs::Program p = programs::hamming(5);
+    std::vector<std::uint32_t> a(5), b(5);
+    for (auto& w : a) w = static_cast<std::uint32_t>(rng.next_u64());
+    for (auto& w : b) w = static_cast<std::uint32_t>(rng.next_u64());
+    const arm::Arm2Gc machine(p.cfg, p.words);
+
+    for (const auto backend : {gc::OtBackend::Ideal, gc::OtBackend::Iknp}) {
+      core::ExecOptions exec;
+      exec.ot_backend = backend;
+      arm::Arm2GcResult last;
+      const double cold_ms = best_wall_ms(3, [&] { last = machine.run(a, b, 1u << 20, gc::Scheme::HalfGates, exec); });
+      const char* name = backend == gc::OtBackend::Ideal ? "ideal" : "iknp";
+      std::printf("%-6s cold run %7.2f ms   ot phase %6.3f ms   ot bytes %9s  (%s choices, %s base OTs)\n",
+                  name, cold_ms, static_cast<double>(last.stats.ot_wall_ns) * 1e-6,
+                  num(last.stats.comm.ot_bytes).c_str(), num(last.stats.ot_choices).c_str(),
+                  num(last.stats.ot_base_ots).c_str());
+      if (benchutil::json().enabled()) {
+        const std::string pre = std::string("hamming160.ot_") + name;
+        benchutil::json().add(pre + "_cold_ms", cold_ms);
+        benchutil::json().add(pre + "_phase_ms", static_cast<double>(last.stats.ot_wall_ns) * 1e-6);
+        benchutil::json().add(pre + "_bytes", last.stats.comm.ot_bytes);
+      }
+    }
+
+    // Warm IKNP session: base OTs run once, then every run rides extension.
+    core::ExecOptions iknp;
+    iknp.ot_backend = gc::OtBackend::Iknp;
+    arm::Arm2Gc::Session session(machine, iknp);
+    arm::Arm2GcResult first = session.run(a, b);
+    arm::Arm2GcResult warm;
+    const double warm_ms = best_wall_ms(5, [&] { warm = session.run(a, b); });
+    std::printf("iknp   warm session %7.2f ms   ot phase %6.3f ms   (base OTs first run %s, then %s)\n",
+                warm_ms, static_cast<double>(warm.stats.ot_wall_ns) * 1e-6,
+                num(first.stats.ot_base_ots).c_str(), num(warm.stats.ot_base_ots).c_str());
+    if (benchutil::json().enabled()) {
+      benchutil::json().add("hamming160.ot_iknp_warm_session_ms", warm_ms);
+      benchutil::json().add("hamming160.ot_iknp_warm_phase_ms",
+                            static_cast<double>(warm.stats.ot_wall_ns) * 1e-6);
+      benchutil::json().add("hamming160.ot_iknp_warm_base_ots", warm.stats.ot_base_ots);
+    }
+  }
   return benchutil::finish();
 }

@@ -19,7 +19,11 @@
 #include "core/skipgate.h"
 #include "crypto/aes128.h"
 #include "crypto/prf.h"
+#include "crypto/rng.h"
+#include "crypto/transpose.h"
 #include "gc/garble.h"
+#include "gc/otext.h"
+#include "gc/transport.h"
 #include "programs/programs.h"
 
 using namespace arm2gc;
@@ -137,6 +141,69 @@ static void BM_Eval(benchmark::State& state) {
 }
 BENCHMARK(BM_Eval)->Arg(0)->Arg(1)->Arg(2);
 
+/// 128xN bit-transpose throughput (the IKNP column->row pivot).
+/// arg0: 0 = portable kernel, 1 = dispatched (SSE2 when compiled in).
+static void BM_Transpose128xN(benchmark::State& state) {
+  constexpr std::size_t kN = 4096;
+  const std::size_t stride = kN / 8;
+  std::vector<std::uint8_t> rows(128 * stride);
+  crypto::CtrRng rng(crypto::block_from_u64(17));
+  for (auto& b : rows) b = static_cast<std::uint8_t>(rng.next_u64());
+  std::vector<crypto::Block> out(kN);
+  const bool fast = state.range(0) != 0;
+  for (auto _ : state) {
+    if (fast) {
+      crypto::transpose_128xn(rows.data(), stride, kN, out.data());
+    } else {
+      crypto::transpose_128xn_portable(rows.data(), stride, kN, out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(fast ? (crypto::transpose_uses_sse() ? "sse2" : "portable-dispatch")
+                      : "portable");
+  // One item = one 128-bit output row (i.e. one OT's worth of matrix work).
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kN));
+}
+BENCHMARK(BM_Transpose128xN)->Arg(0)->Arg(1);
+
+/// OT throughput through the batched endpoints over an in-memory duplex,
+/// base OTs amortized across the run (warm endpoints, as in a session).
+/// arg0: backend (0 = ideal stand-in, 1 = IKNP), arg1: batch size.
+static void BM_OtExtension(benchmark::State& state) {
+  const auto backend = state.range(0) == 0 ? gc::OtBackend::Ideal : gc::OtBackend::Iknp;
+  const auto m = static_cast<std::size_t>(state.range(1));
+  gc::InMemoryDuplex duplex;
+  const crypto::Block seed = crypto::block_from_u64(23);
+  auto sender = gc::make_ot_sender(backend, duplex.garbler_end(), seed, nullptr);
+  auto receiver = gc::make_ot_receiver(backend, duplex.evaluator_end(), seed, nullptr);
+  gc::Garbler g(crypto::block_from_u64(29));
+  std::vector<crypto::Block> x0(m), got(m);
+  for (auto& b : x0) b = g.fresh_label();
+  std::uint64_t pattern = 0x5DEECE66D;
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < m; ++j) {
+      receiver->enqueue(((pattern >> (j % 61)) & 1u) != 0, &got[j]);
+    }
+    receiver->request();
+    for (std::size_t j = 0; j < m; ++j) sender->enqueue(x0[j], x0[j] ^ g.R());
+    sender->flush();
+    receiver->finish();
+    benchmark::DoNotOptimize(got.data());
+    pattern = pattern * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  state.SetLabel(backend == gc::OtBackend::Ideal ? "ideal" : "iknp");
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+  state.counters["bytes_per_ot"] = benchmark::Counter(
+      static_cast<double>(duplex.stats().ot_bytes) /
+      static_cast<double>(sender->stats().choices ? sender->stats().choices : 1));
+}
+BENCHMARK(BM_OtExtension)
+    ->Args({0, 160})
+    ->Args({1, 160})
+    ->Args({0, 4096})
+    ->Args({1, 4096})
+    ->Args({1, 1});
+
 /// End-to-end protocol throughput on a 32x32 multiplier, per mode.
 static void BM_ProtocolMul32(benchmark::State& state) {
   builder::CircuitBuilder cb;
@@ -214,6 +281,33 @@ BENCHMARK(BM_ProtocolArmHamming160)
     ->Args({0, 1, 0})
     ->Args({1, 1, 1})
     ->Unit(benchmark::kMillisecond);
+
+/// OT-phase cost of a full ARM2GC run (Hamming-160, cold): wall time spent
+/// inside OT batches and true framed OT bytes, per backend.
+/// arg0: 0 = ideal stand-in, 1 = IKNP extension.
+static void BM_ProtocolArmHamming160OtPhase(benchmark::State& state) {
+  const programs::Program prog = programs::hamming(5);
+  const arm::Arm2Gc machine(prog.cfg, prog.words);
+  core::ExecOptions exec;
+  exec.ot_backend = state.range(0) == 0 ? gc::OtBackend::Ideal : gc::OtBackend::Iknp;
+  const std::vector<std::uint32_t> a = {1, 2, 3, 4, 5};
+  const std::vector<std::uint32_t> b = {6, 7, 8, 9, 10};
+  std::uint64_t ot_ns = 0;
+  std::uint64_t ot_bytes = 0;
+  std::uint64_t choices = 0;
+  for (auto _ : state) {
+    const arm::Arm2GcResult r = machine.run(a, b, 1u << 20, gc::Scheme::HalfGates, exec);
+    benchmark::DoNotOptimize(r.outputs.data());
+    ot_ns = r.stats.ot_wall_ns;
+    ot_bytes = r.stats.comm.ot_bytes;
+    choices = r.stats.ot_choices;
+  }
+  state.SetLabel(state.range(0) == 0 ? "ot=ideal" : "ot=iknp");
+  state.counters["ot_ms"] = static_cast<double>(ot_ns) * 1e-6;
+  state.counters["ot_bytes"] = static_cast<double>(ot_bytes);
+  state.counters["ot_choices"] = static_cast<double>(choices);
+}
+BENCHMARK(BM_ProtocolArmHamming160OtPhase)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /// The serving scenario: one Arm2Gc::Session executes the same public
 /// program on fresh private inputs every iteration, so the per-party plan

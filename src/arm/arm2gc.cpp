@@ -76,13 +76,22 @@ Arm2Gc::Session::Session(const Arm2Gc& machine, core::ExecOptions exec)
       garbler_cache_(exec.plan_cache_budget_bytes),
       evaluator_cache_(exec.plan_cache_budget_bytes),
       garbler_cones_(exec.cone_memo_budget_bytes),
-      evaluator_cones_(exec.cone_memo_budget_bytes) {
+      evaluator_cones_(exec.cone_memo_budget_bytes),
+      // OT states derive from the same protocol seed every run() hands the
+      // driver (RunOptions default; Arm2Gc::run never overrides it), so the
+      // warm extension streams continue exactly where the last run stopped.
+      ot_sender_(core::RunOptions{}.seed),
+      ot_receiver_(core::RunOptions{}.seed) {
   exec_.plan_cache = true;  // warm caches are the point of a session
   if (exec_.garbler_plan_cache == nullptr) exec_.garbler_plan_cache = &garbler_cache_;
   if (exec_.evaluator_plan_cache == nullptr) exec_.evaluator_plan_cache = &evaluator_cache_;
   if (exec_.cone_memo) {
     if (exec_.garbler_cone_memo == nullptr) exec_.garbler_cone_memo = &garbler_cones_;
     if (exec_.evaluator_cone_memo == nullptr) exec_.evaluator_cone_memo = &evaluator_cones_;
+  }
+  if (exec_.ot_backend == gc::OtBackend::Iknp) {
+    if (exec_.ot_sender_state == nullptr) exec_.ot_sender_state = &ot_sender_;
+    if (exec_.ot_receiver_state == nullptr) exec_.ot_receiver_state = &ot_receiver_;
   }
 }
 

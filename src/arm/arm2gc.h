@@ -68,12 +68,18 @@ class Arm2Gc {
   /// public program, many executions on fresh private inputs. The warm cone
   /// memos additionally serve runs whose public trajectory *differs* (e.g.
   /// input-dependent loop counts): only the cones around the divergence are
-  /// reclassified. Not thread-safe; use one Session per worker.
+  /// reclassified. Under the IKNP OT backend the session also keeps the
+  /// per-role extension states warm, so the kappa base OTs run once and
+  /// amortize across every later run (mirroring the plan-cache warm path);
+  /// a run that throws mid-protocol can leave those states desynced — the
+  /// next run then fails on the OT check block rather than mis-delivering.
+  /// Not thread-safe; use one Session per worker.
   class Session {
    public:
     /// `exec` seeds transport/budget tuning; `plan_cache` is forced on, and
-    /// the session's own cache/memo fills each per-party pointer the caller
-    /// left null (caller-supplied ones are used as given).
+    /// the session's own cache/memo (and, for the Iknp backend, OT state)
+    /// fills each per-party pointer the caller left null (caller-supplied
+    /// ones are used as given).
     explicit Session(const Arm2Gc& machine, core::ExecOptions exec = {});
 
     [[nodiscard]] Arm2GcResult run(std::span<const std::uint32_t> alice,
@@ -88,6 +94,8 @@ class Arm2Gc {
     core::PlanCache evaluator_cache_;
     core::ConeMemo garbler_cones_;
     core::ConeMemo evaluator_cones_;
+    gc::IknpSenderState ot_sender_;
+    gc::IknpReceiverState ot_receiver_;
   };
 
   [[nodiscard]] const CpuNetlist& cpu() const { return cpu_; }

@@ -5,8 +5,6 @@
 #include <stdexcept>
 #include <string>
 
-#include "gc/ot.h"
-
 namespace arm2gc::core {
 
 namespace {
@@ -18,25 +16,24 @@ using netlist::WireId;
 }  // namespace
 
 EvaluatorSession::EvaluatorSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme,
-                                   gc::Transport& tx)
+                                   Block seed, gc::Transport& tx, gc::OtBackend ot_backend,
+                                   gc::IknpReceiverState* warm_ot)
     : nl_(nl),
       mode_(mode),
       scheme_(scheme),
       eval_(scheme),
       tx_(&tx),
+      ot_(gc::make_ot_receiver(ot_backend, tx, seed, warm_ot)),
       trace_(std::getenv("A2G_TRACE") != nullptr) {
   lb_.resize(nl_.num_wires());
   lb_valid_.assign(nl_.num_wires(), 0);
+  // Sized here as well as in ot_reset() so a reset() without its ot_reset()
+  // half (a contract violation) reads zeros instead of writing out of
+  // bounds.
+  fixed_lb_.assign(nl_.inputs.size(), Block{});
+  dff_lb_.assign(nl_.dffs.size(), Block{});
+  dff_lb_valid_.assign(nl_.dffs.size(), 1);
   const_lb_[0] = const_lb_[1] = Block{};
-}
-
-void EvaluatorSession::bind_recv(Owner owner, bool choice, Block& lb) {
-  if (owner == Owner::Bob) {
-    gc::OtReceiver receiver(*tx_);
-    lb = receiver.receive(choice);
-  } else {
-    lb = tx_->recv();
-  }
 }
 
 bool EvaluatorSession::bob_bit(std::uint32_t idx, const netlist::BitVec& bob,
@@ -48,45 +45,87 @@ bool EvaluatorSession::bob_bit(std::uint32_t idx, const netlist::BitVec& bob,
   return bob[idx];
 }
 
-void EvaluatorSession::reset(const netlist::BitVec& bob_bits) {
-  const bool skipgate = mode_ == Mode::SkipGate;
+/// A non-streamed input binds a label unless SkipGate keeps it public.
+bool EvaluatorSession::binds_fixed(const netlist::Input& in) const {
+  if (in.streamed) return false;
+  return !(in.owner == Owner::Public && mode_ == Mode::SkipGate);
+}
 
-  if (!skipgate) {
-    bind_recv(Owner::Public, false, const_lb_[0]);
-    bind_recv(Owner::Public, false, const_lb_[1]);
-  }
+/// A streamed input binds a label each cycle unless SkipGate keeps it public.
+bool EvaluatorSession::binds_streamed(const netlist::Input& in) const {
+  if (!in.streamed) return false;
+  return !(in.owner == Owner::Public && mode_ == Mode::SkipGate);
+}
 
+// The two reset halves walk the same binding order as the garbler's reset:
+// fixed inputs ascending, then flip-flops ascending. The OT queue sees
+// exactly the Bob-owned bindings (same subsequence on both sides); the
+// direct-label stream sees exactly the rest.
+void EvaluatorSession::ot_reset(const netlist::BitVec& bob_bits) {
   fixed_lb_.assign(nl_.inputs.size(), Block{});
   for (std::size_t i = 0; i < nl_.inputs.size(); ++i) {
     const netlist::Input& in = nl_.inputs[i];
-    if (in.streamed) continue;
-    if (in.owner == Owner::Public && skipgate) continue;
-    const bool choice =
-        in.owner == Owner::Bob && bob_bit(in.bit_index, bob_bits, "fixed input");
-    bind_recv(in.owner, choice, fixed_lb_[i]);
+    if (!binds_fixed(in)) continue;
+    if (in.owner == Owner::Bob) {
+      ot_->enqueue(bob_bit(in.bit_index, bob_bits, "fixed input"), &fixed_lb_[i]);
+    }
   }
 
   dff_lb_.assign(nl_.dffs.size(), Block{});
   dff_lb_valid_.assign(nl_.dffs.size(), 1);
   for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
     const Dff& d = nl_.dffs[i];
+    if (d.init == Dff::Init::BobBit) {
+      ot_->enqueue(bob_bit(d.init_index, bob_bits, "Bob dff init"), &dff_lb_[i]);
+    }
+  }
+  ot_->request();
+}
+
+void EvaluatorSession::reset() {
+  const bool skipgate = mode_ == Mode::SkipGate;
+
+  if (!skipgate) {
+    const_lb_[0] = tx_->recv();
+    const_lb_[1] = tx_->recv();
+  }
+
+  for (std::size_t i = 0; i < nl_.inputs.size(); ++i) {
+    const netlist::Input& in = nl_.inputs[i];
+    if (!binds_fixed(in)) continue;
+    if (in.owner != Owner::Bob) fixed_lb_[i] = tx_->recv();
+  }
+
+  for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
+    const Dff& d = nl_.dffs[i];
     switch (d.init) {
       case Dff::Init::Zero:
       case Dff::Init::One:
-        if (!skipgate) bind_recv(Owner::Public, false, dff_lb_[i]);
+        if (!skipgate) dff_lb_[i] = tx_->recv();
         break;
       case Dff::Init::AliceBit:
-        bind_recv(Owner::Alice, false, dff_lb_[i]);
+        dff_lb_[i] = tx_->recv();
         break;
       case Dff::Init::BobBit:
-        bind_recv(Owner::Bob, bob_bit(d.init_index, bob_bits, "Bob dff init"), dff_lb_[i]);
-        break;
+        break;  // queued in ot_reset; filled by finish() below
     }
   }
+  ot_->finish();
 }
 
-void EvaluatorSession::begin_cycle(const netlist::BitVec& bob_stream) {
-  const bool skipgate = mode_ == Mode::SkipGate;
+void EvaluatorSession::ot_begin(const netlist::BitVec& bob_stream) {
+  for (std::size_t i = 0; i < nl_.inputs.size(); ++i) {
+    const netlist::Input& in = nl_.inputs[i];
+    if (!binds_streamed(in)) continue;
+    if (in.owner == Owner::Bob) {
+      ot_->enqueue(bob_bit(in.bit_index, bob_stream, "streamed input"),
+                   &lb_[nl_.input_wire(i)]);
+    }
+  }
+  ot_->request();
+}
+
+void EvaluatorSession::begin_cycle() {
   lb_[netlist::kConst0] = const_lb_[0];
   lb_[netlist::kConst1] = const_lb_[1];
   lb_valid_[netlist::kConst0] = 1;
@@ -100,10 +139,12 @@ void EvaluatorSession::begin_cycle(const netlist::BitVec& bob_stream) {
       lb_valid_[w] = 1;
       continue;
     }
-    if (in.owner == Owner::Public && skipgate) continue;  // public wire, no label
-    const bool choice =
-        in.owner == Owner::Bob && bob_bit(in.bit_index, bob_stream, "streamed input");
-    bind_recv(in.owner, choice, lb_[w]);
+    if (!binds_streamed(in)) continue;  // public wire, no label
+    if (in.owner == Owner::Bob) {
+      lb_valid_[w] = 1;  // label lands at the batch finish below
+      continue;
+    }
+    lb_[w] = tx_->recv();
     lb_valid_[w] = 1;
   }
 
@@ -112,6 +153,7 @@ void EvaluatorSession::begin_cycle(const netlist::BitVec& bob_stream) {
     lb_[w] = dff_lb_[i];
     lb_valid_[w] = dff_lb_valid_[i];
   }
+  ot_->finish();
 }
 
 void EvaluatorSession::eval_cycle(const CyclePlan& plan, std::uint64_t cycle) {

@@ -2,14 +2,24 @@
 // state; consumes the public CyclePlan and the garbler's frames through a
 // gc::Transport. It never sees Alice's inputs or any label pair — its OT
 // choices are the only secrets it contributes.
+//
+// OT schedule: each binding phase is split in two. ot_reset()/ot_begin()
+// queue the phase's Bob choice bits and emit the receiver-side OT message
+// (the IKNP column matrix; a no-op frame-wise for the ideal backend) —
+// these run *before* the garbler's matching phase so the extension's
+// receiver-first round trip works under the lock-step schedule. The regular
+// reset()/begin_cycle() then consume the garbler's direct labels in stream
+// order and complete the OT batch, filling every queued destination.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/plan.h"
 #include "crypto/block.h"
 #include "gc/garble.h"
+#include "gc/otext.h"
 #include "gc/transport.h"
 #include "netlist/netlist.h"
 
@@ -17,14 +27,30 @@ namespace arm2gc::core {
 
 class EvaluatorSession {
  public:
-  EvaluatorSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme, gc::Transport& tx);
+  /// `seed` feeds only the OT receiver's randomness (domain-separated); the
+  /// evaluator holds no label-generating state. `warm_ot` (optional, IKNP
+  /// only) carries base-OT state across runs of one pairing.
+  EvaluatorSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme, crypto::Block seed,
+                   gc::Transport& tx, gc::OtBackend ot_backend = gc::OtBackend::Ideal,
+                   gc::IknpReceiverState* warm_ot = nullptr);
+
+  /// Queues OT choices for Bob's fixed inputs and flip-flop initial values
+  /// and emits the receiver-side OT request. Must run before the garbler's
+  /// reset() in a lock-step schedule.
+  void ot_reset(const netlist::BitVec& bob_bits);
 
   /// Receives labels for constants (Conventional mode), fixed inputs and
-  /// flip-flop initial values; Bob's own bits are fetched by OT choice.
-  void reset(const netlist::BitVec& bob_bits);
+  /// flip-flop initial values; completes the reset OT batch.
+  void reset();
 
-  /// Installs root labels for a cycle and receives streamed-input labels.
-  void begin_cycle(const netlist::BitVec& bob_stream);
+  /// Queues OT choices for this cycle's streamed Bob bits and emits the
+  /// receiver-side OT request. Must run before the garbler's begin_cycle().
+  void ot_begin(const netlist::BitVec& bob_stream);
+
+  /// Installs root labels for a cycle, receives streamed-input labels and
+  /// completes the cycle's OT batch (Bob's choices were consumed by
+  /// ot_begin).
+  void begin_cycle();
 
   /// Runs the evaluator label pass over the plan, consuming garbled tables.
   /// `cycle` is used for trace output only (A2G_TRACE).
@@ -36,16 +62,25 @@ class EvaluatorSession {
   /// Carries flip-flop labels into the next cycle.
   void latch(const CyclePlan& plan);
 
+  /// OT-phase counters of this session's receiver endpoint.
+  [[nodiscard]] const gc::OtPhaseStats& ot_stats() const { return ot_->stats(); }
+
  private:
-  void bind_recv(netlist::Owner owner, bool choice, crypto::Block& lb);
   [[nodiscard]] bool bob_bit(std::uint32_t idx, const netlist::BitVec& bob,
                              const char* what) const;
+  // The binding filters, shared by the OT-request halves and the label
+  // halves (and mirroring the garbler's walk): the OT queue is filled by
+  // one loop and drained against frames produced by another, so membership
+  // must be decided in exactly one place.
+  [[nodiscard]] bool binds_fixed(const netlist::Input& in) const;
+  [[nodiscard]] bool binds_streamed(const netlist::Input& in) const;
 
   const netlist::Netlist& nl_;
   Mode mode_;
   gc::Scheme scheme_;
   gc::Evaluator eval_;
   gc::Transport* tx_;
+  std::unique_ptr<gc::OtReceiver> ot_;
 
   std::vector<crypto::Block> lb_;
   std::vector<std::uint8_t> lb_valid_;

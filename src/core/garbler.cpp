@@ -3,7 +3,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "gc/ot.h"
+
 
 namespace arm2gc::core {
 
@@ -19,20 +19,25 @@ Block maybe(Block b, bool take) { return take ? b : kZeroBlock; }
 }  // namespace
 
 GarblerSession::GarblerSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme,
-                               Block seed, gc::Transport& tx)
-    : nl_(nl), mode_(mode), garbler_(seed, scheme), tx_(&tx) {
+                               Block seed, gc::Transport& tx, gc::OtBackend ot_backend,
+                               gc::IknpSenderState* warm_ot)
+    : nl_(nl),
+      mode_(mode),
+      garbler_(seed, scheme),
+      tx_(&tx),
+      ot_(gc::make_ot_sender(ot_backend, tx, seed, warm_ot)) {
   la_.resize(nl_.num_wires());
   const_la_[0] = const_la_[1] = Block{};
 }
 
 /// Binds one secret source bit owned by `owner`: creates the label pair and
-/// transfers Bob's label (directly for bits Alice knows, as an OT pair for
-/// Bob's own bits — the value `v` is ignored then; the receiver chooses).
+/// transfers Bob's label (directly for bits Alice knows, queued into the OT
+/// batch for Bob's own bits — the value `v` is ignored then; the receiver
+/// chooses at the phase's flush).
 void GarblerSession::bind_secret(Owner owner, bool v, Block& la) {
   la = garbler_.fresh_label();
   if (owner == Owner::Bob) {
-    gc::OtSender sender(*tx_);
-    sender.send(la, la ^ garbler_.R());
+    ot_->enqueue(la, la ^ garbler_.R());
   } else {
     tx_->send(la ^ maybe(garbler_.R(), v), gc::Traffic::InputLabel);
   }
@@ -87,6 +92,7 @@ void GarblerSession::reset(const netlist::BitVec& alice_bits, const netlist::Bit
         break;
     }
   }
+  ot_->flush();  // one batch for every Bob-owned fixed bit and dff init
 }
 
 void GarblerSession::begin_cycle(const netlist::BitVec& alice_stream,
@@ -110,6 +116,7 @@ void GarblerSession::begin_cycle(const netlist::BitVec& alice_stream,
   for (std::size_t i = 0; i < nl_.dffs.size(); ++i) {
     la_[nl_.dff_wire(i)] = dff_la_[i];
   }
+  ot_->flush();  // this cycle's streamed Bob bits, as one batch
 }
 
 void GarblerSession::garble_cycle(const CyclePlan& plan) {
@@ -155,6 +162,9 @@ void GarblerSession::garble_cycle(const CyclePlan& plan) {
           gc::GarbledTable table;
           la_[w] = garbler_.garble(la_[g.a], la_[g.b], netlist::tt_and_core(g.tt), table);
           tx_->send(table.rows.data(), table.count, gc::Traffic::GarbledTable);
+          for (std::uint8_t k = 0; k < table.count; ++k) {
+            table_digest_ = table_digest_.gf_double() ^ table.rows[k];
+          }
           break;
         }
       }

@@ -58,11 +58,14 @@ struct GarblerParty {
 
   GarblerParty(const Netlist& nl, const RunOptions& opts, gc::Transport& tx,
                const StreamProvider* s, const BitVec& alice, const BitVec& pub)
-      : session(nl, opts.mode, opts.scheme, opts.seed, tx),
+      : session(nl, opts.mode, opts.scheme, opts.seed, tx, opts.exec.ot_backend,
+                opts.exec.ot_sender_state),
         streams(s),
         alice_bits(alice),
         pub_bits(pub) {}
 
+  void ot_reset() {}  // the sender's batch runs inside reset()/begin()
+  void ot_begin(std::uint64_t) {}
   void reset() { session.reset(alice_bits, pub_bits); }
   void begin(std::uint64_t cycle, const BitVec& pub_stream) {
     BitVec sa;
@@ -74,6 +77,16 @@ struct GarblerParty {
     result.sampled_outputs.push_back(session.decode_outputs(plan));
   }
   void latch(const CyclePlan& plan) { session.latch(plan); }
+  void finalize(RunStats& stats) const {
+    // The sender side is the authoritative OT ledger (counts are identical
+    // on the receiver side by construction).
+    const gc::OtPhaseStats& o = session.ot_stats();
+    stats.ot_choices += o.choices;
+    stats.ot_batches += o.batches;
+    stats.ot_base_ots += o.base_ots;
+    stats.ot_wall_ns += o.wall_ns;
+    stats.table_digest = session.table_digest();
+  }
 };
 
 /// Evaluator role for the shared cycle loop below.
@@ -84,25 +97,45 @@ struct EvaluatorParty {
 
   EvaluatorParty(const Netlist& nl, const RunOptions& opts, gc::Transport& tx,
                  const StreamProvider* s, const BitVec& bob)
-      : session(nl, opts.mode, opts.scheme, tx), streams(s), bob_bits(bob) {}
+      : session(nl, opts.mode, opts.scheme, opts.seed, tx, opts.exec.ot_backend,
+                opts.exec.ot_receiver_state),
+        streams(s),
+        bob_bits(bob) {}
 
-  void reset() { session.reset(bob_bits); }
-  void begin(std::uint64_t cycle, const BitVec&) {
+  void ot_reset() { session.ot_reset(bob_bits); }
+  void ot_begin(std::uint64_t cycle) {
+    // The choice bits are copied into the OT queue synchronously; nothing
+    // here outlives the call.
     BitVec sb;
     if (streams != nullptr && streams->bob) sb = streams->bob(cycle);
-    session.begin_cycle(sb);
+    session.ot_begin(sb);
   }
+  void reset() { session.reset(); }
+  void begin(std::uint64_t, const BitVec&) { session.begin_cycle(); }
   void work(const CyclePlan& plan, std::uint64_t cycle) { session.eval_cycle(plan, cycle); }
   void sample(const CyclePlan& plan, RunResult&) { session.send_outputs(plan); }
   void latch(const CyclePlan& plan) { session.latch(plan); }
+  void finalize(RunStats& stats) const {
+    stats.ot_wall_ns += session.ot_stats().wall_ns;
+  }
 };
 
 /// Both roles interleaved on one thread — the lock-step schedule. The
-/// evaluator sends its output labels before the garbler decodes them.
+/// evaluator emits its OT request before the garbler's matching phase (the
+/// extension's receiver-first round trip) and sends its output labels
+/// before the garbler decodes them.
 struct LockstepParty {
   GarblerParty garbler;
   EvaluatorParty evaluator;
 
+  void ot_reset() {
+    evaluator.ot_reset();
+    garbler.ot_reset();
+  }
+  void ot_begin(std::uint64_t cycle) {
+    evaluator.ot_begin(cycle);
+    garbler.ot_begin(cycle);
+  }
   void reset() {
     garbler.reset();
     evaluator.reset();
@@ -123,6 +156,10 @@ struct LockstepParty {
     garbler.latch(plan);
     evaluator.latch(plan);
   }
+  void finalize(RunStats& stats) const {
+    garbler.finalize(stats);
+    evaluator.finalize(stats);
+  }
 };
 
 /// The per-cycle protocol schedule, identical for every party and transport:
@@ -134,6 +171,7 @@ RunResult run_party(const Netlist& nl, const RunOptions& opts, const BitVec& pub
                     PlanCache* cache, ConeMemo* cones, Party& party) {
   Planner planner(nl, planner_options(opts, cache, cones));
   planner.reset(pub_bits);
+  party.ot_reset();  // receiver-first: the OT request precedes the bindings
   party.reset();
 
   RunResult result;
@@ -142,6 +180,7 @@ RunResult run_party(const Netlist& nl, const RunOptions& opts, const BitVec& pub
     BitVec sp;
     if (streams != nullptr && streams->pub) sp = streams->pub(cycle);
     planner.begin_cycle(sp);
+    party.ot_begin(cycle);
     party.begin(cycle, sp);
 
     planner.forward();
@@ -167,6 +206,7 @@ RunResult run_party(const Netlist& nl, const RunOptions& opts, const BitVec& pub
   stats.plan_cache_misses = planner.cache_misses();
   stats.cone_hits = planner.cone_hits();
   stats.cone_misses = planner.cone_misses();
+  party.finalize(stats);
   result.stats = stats;
   if (!result.sampled_outputs.empty()) result.final_outputs = result.sampled_outputs.back();
   return result;

@@ -25,6 +25,7 @@
 #include "core/plan.h"
 #include "crypto/block.h"
 #include "gc/garble.h"
+#include "gc/otext.h"
 #include "gc/transport.h"
 #include "netlist/netlist.h"
 
@@ -50,6 +51,18 @@ struct RunStats {
   std::uint64_t cone_misses = 0;
   /// Peak undelivered transport backlog, in 16-byte blocks.
   std::uint64_t transport_high_water_blocks = 0;
+  /// OT subsystem counters. The count fields come from the sender role (the
+  /// authoritative batch ledger, identical across transports); ot_wall_ns is
+  /// wall time inside OT phases, transport waits included — the lock-step
+  /// driver sums both roles, the threaded driver reports the garbler's.
+  std::uint64_t ot_choices = 0;
+  std::uint64_t ot_batches = 0;
+  std::uint64_t ot_base_ots = 0;  ///< base OTs run this execution (0 when warm)
+  std::uint64_t ot_wall_ns = 0;
+  /// Running gf_double-mix digest of every garbled-table block the garbler
+  /// sent (gc/golden_digest.h construction): pins table content — not just
+  /// byte counts — across transports, plan caching and OT backends.
+  crypto::Block table_digest{};
   gc::CommStats comm;
 
   /// Fraction of non-XOR slots SkipGate elided (0 when nothing ran).
@@ -105,6 +118,18 @@ struct ExecOptions {
   /// ThreadedPipe ring capacity per direction, in 16-byte blocks; this is
   /// both the garbler's run-ahead window and the transport memory bound.
   std::size_t pipe_blocks = 1u << 15;
+  /// OT backend for Bob's input labels: the ideal-functionality stand-in or
+  /// real IKNP extension (gc/otext.h). Outputs, garbled tables and every
+  /// non-OT byte count are bit-identical across backends; only OT traffic
+  /// and timing differ.
+  gc::OtBackend ot_backend = gc::OtBackend::Ideal;
+  /// Optional warm IKNP states (Iknp backend only; one per party role),
+  /// persisting the base OTs and extension streams across runs of one
+  /// pairing — Arm2Gc::Session supplies these alongside its plan caches.
+  /// Both must come from the same prior pairing; a mismatch is detected by
+  /// the per-batch check block, not silently wrong.
+  gc::IknpSenderState* ot_sender_state = nullptr;
+  gc::IknpReceiverState* ot_receiver_state = nullptr;
 };
 
 struct RunOptions {

@@ -1,0 +1,126 @@
+#include "crypto/transpose.h"
+
+#include <cstring>
+#include <memory>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace arm2gc::crypto {
+
+namespace {
+
+/// Staging buffer for the transposed bytes (n output rows of 16 bytes):
+/// stack for the common small batches, heap beyond. Both kernels write into
+/// it and share the copy-out to Blocks.
+struct Staging {
+  static constexpr std::size_t kStackRows = 256;
+
+  explicit Staging(std::size_t n) {
+    if (n > kStackRows) {
+      heap = std::make_unique<std::uint8_t[]>(n * 16);
+      data = heap.get();
+    } else {
+      data = stack;
+    }
+  }
+
+  void copy_out(std::size_t n, Block* out) const {
+    for (std::size_t c = 0; c < n; ++c) out[c] = Block::from_bytes(data + 16 * c);
+  }
+
+  std::uint8_t stack[kStackRows * 16];
+  std::unique_ptr<std::uint8_t[]> heap;
+  std::uint8_t* data;
+};
+
+/// 8x8 bit-matrix transpose of a 64-bit word holding 8 row bytes (row r in
+/// bits [8r, 8r+8)); Hacker's Delight 7-3 swap network.
+constexpr std::uint64_t transpose8x8(std::uint64_t x) {
+  std::uint64_t t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAull;
+  x = x ^ t ^ (t << 7);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCull;
+  x = x ^ t ^ (t << 14);
+  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ull;
+  x = x ^ t ^ (t << 28);
+  return x;
+}
+
+void kernel_portable(const std::uint8_t* rows, std::size_t row_stride, std::size_t n,
+                     std::uint8_t* st) {
+  for (std::size_t c = 0; c < n; c += 8) {
+    const std::size_t cb = c / 8;  // source byte column
+    const std::size_t lim = n - c < 8 ? n - c : 8;
+    for (std::size_t r = 0; r < 128; r += 8) {
+      std::uint64_t w = 0;
+      for (std::size_t i = 0; i < 8; ++i) {
+        w |= static_cast<std::uint64_t>(rows[(r + i) * row_stride + cb]) << (8 * i);
+      }
+      w = transpose8x8(w);  // byte i now holds column c+i across rows r..r+7
+      for (std::size_t i = 0; i < lim; ++i) {
+        st[16 * (c + i) + r / 8] = static_cast<std::uint8_t>(w >> (8 * i));
+      }
+    }
+  }
+}
+
+#if defined(__SSE2__)
+
+/// SSE2 kernel: 16 input rows x 8 columns per step; _mm_movemask_epi8 peels
+/// one output column (16 row bits) per shift.
+void kernel_sse(const std::uint8_t* rows, std::size_t row_stride, std::size_t n,
+                std::uint8_t* st) {
+  for (std::size_t r = 0; r < 128; r += 16) {
+    for (std::size_t c = 0; c < n; c += 8) {
+      const std::size_t cb = c / 8;
+      alignas(16) std::uint8_t gather[16];
+      for (std::size_t i = 0; i < 16; ++i) gather[i] = rows[(r + i) * row_stride + cb];
+      __m128i v = _mm_load_si128(reinterpret_cast<const __m128i*>(gather));
+      // movemask reads bit 7 of each byte: column c+7 first, then shift left.
+      for (std::size_t i = 8; i-- > 0; v = _mm_slli_epi64(v, 1)) {
+        const std::uint16_t m = static_cast<std::uint16_t>(_mm_movemask_epi8(v));
+        if (c + i < n) {
+          std::memcpy(st + 16 * (c + i) + r / 8, &m, 2);
+        }
+      }
+    }
+  }
+}
+
+#endif
+
+}  // namespace
+
+void transpose_128xn_portable(const std::uint8_t* rows, std::size_t row_stride, std::size_t n,
+                              Block* out) {
+  if (n == 0) return;
+  Staging st(n);
+  kernel_portable(rows, row_stride, n, st.data);
+  st.copy_out(n, out);
+}
+
+#if defined(__SSE2__)
+
+void transpose_128xn(const std::uint8_t* rows, std::size_t row_stride, std::size_t n,
+                     Block* out) {
+  if (n == 0) return;
+  Staging st(n);
+  kernel_sse(rows, row_stride, n, st.data);
+  st.copy_out(n, out);
+}
+
+bool transpose_uses_sse() { return true; }
+
+#else
+
+void transpose_128xn(const std::uint8_t* rows, std::size_t row_stride, std::size_t n,
+                     Block* out) {
+  transpose_128xn_portable(rows, row_stride, n, out);
+}
+
+bool transpose_uses_sse() { return false; }
+
+#endif
+
+}  // namespace arm2gc::crypto

@@ -1,0 +1,34 @@
+// 128 x N bit-matrix transpose, the column->row pivot at the heart of IKNP
+// OT extension (Ishai et al., CRYPTO'03): the receiver generates kappa = 128
+// PRG *columns* of length N, but the correlation-robust hash consumes one
+// 128-bit *row* per OT. Transposing bit matrices is the classic hot spot of
+// extension implementations, so an SSE2 movemask kernel (the well-known
+// 16x8-block technique) is provided next to a portable 8x8 swap network;
+// both produce identical output for any N, including N not a multiple of
+// 8 or 128.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/block.h"
+
+namespace arm2gc::crypto {
+
+/// Transposes a 128 x n bit matrix. `rows` holds 128 bit-packed rows of
+/// `row_stride` bytes each (row r starts at rows + r*row_stride; bit c of a
+/// row is bit c%8 of byte c/8), with row_stride >= ceil(n/8). Output row c
+/// is `out[c]`: bit r of out[c] equals bit (r, c) of the input. Bits at
+/// columns >= n are ignored; `out` must have space for n Blocks.
+void transpose_128xn(const std::uint8_t* rows, std::size_t row_stride, std::size_t n,
+                     Block* out);
+
+/// The portable reference kernel (8x8 swap network); bit-identical to
+/// transpose_128xn on every input — the SSE path is cross-checked against it.
+void transpose_128xn_portable(const std::uint8_t* rows, std::size_t row_stride, std::size_t n,
+                              Block* out);
+
+/// True iff transpose_128xn dispatches to the SSE2 kernel in this build.
+[[nodiscard]] bool transpose_uses_sse();
+
+}  // namespace arm2gc::crypto

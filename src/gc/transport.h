@@ -14,12 +14,16 @@
 //                        thread; the ring capacity is the pipelining window
 //                        and the memory bound at once.
 //
-// A real deployment would put these frames on a socket — with one carve-out:
-// Traffic::Ot frames are the in-process wiring of an *ideal OT
-// functionality* (both labels travel and the receiver picks; see gc/ot.h),
-// so a deployment replaces the OT endpoints with a real extension protocol
-// rather than shipping those frames verbatim. Everything above this
-// interface is transport-agnostic either way.
+// A real deployment would put these frames on a socket. Traffic::Ot frames
+// are produced by the selectable OT backend (gc/otext.h): under
+// OtBackend::Iknp they are a real extension protocol's messages (base
+// seeds, masked columns, hashed ciphertexts) — shippable verbatim once each
+// party seeds its randomness privately (the in-process driver seeds both
+// sides from the one public protocol seed for reproducibility; see the
+// honesty notes in gc/otext.h). Under the OtBackend::Ideal stand-in they
+// are the ideal functionality's in-process wiring (both labels travel, the
+// receiver picks) and a deployment must select the real backend instead.
+// Everything above this interface is transport-agnostic either way.
 #pragma once
 
 #include <atomic>
@@ -44,7 +48,7 @@ struct TransportClosed : std::runtime_error {
 enum class Traffic : std::uint8_t {
   GarbledTable,  ///< half-gate ciphertexts (2 blocks per non-XOR gate)
   InputLabel,    ///< Alice's own input labels
-  Ot,            ///< Bob's input labels (counted at OT-extension cost)
+  Ot,            ///< OT traffic for Bob's input labels (real framed bytes)
   OutputDecode,  ///< output labels / decode bits at the end
 };
 

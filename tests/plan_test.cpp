@@ -306,6 +306,72 @@ TEST(PlanCache, ArmSessionWarmsAcrossExecutions) {
   }
 }
 
+TEST(PlanCache, WarmSessionCorrectUnderAdversarialEvictionBudgets) {
+  // Coverage gap from PR 3: eviction *inside* a warm Arm2Gc::Session. A
+  // 1-byte budget clamps both stores to their capacity floors (4 plans /
+  // 8 cones), far below what one ARM run classifies, so every run churns
+  // the LRU and later runs re-enter states whose entries were evicted —
+  // and whose cones were re-admitted under fresh slice ids. Results must
+  // stay exact across >= 3 runs (stale-slice adoption after eviction would
+  // corrupt outputs or the garbled count/digest), hit ratios must stay
+  // sane, and the stores must stay at their bounds.
+  const auto prog = arm::assemble(
+      "ldr r4, [r0]\n"
+      "ldr r5, [r1]\n"
+      "add r4, r4, r5\n"
+      "str r4, [r2]\n"
+      "swi 0\n");
+  arm::MemoryConfig cfg;
+  cfg.imem_words = 16;
+  cfg.alice_words = cfg.bob_words = cfg.out_words = 1;
+  cfg.ram_words = 16;
+  const arm::Arm2Gc machine(cfg, prog);
+
+  // Full-budget reference for the protocol-shape invariants.
+  const arm::Arm2GcResult ref =
+      machine.run(std::vector<std::uint32_t>{100}, std::vector<std::uint32_t>{0});
+
+  core::PlanCache gcache(1), ecache(1);  // capacity floor: 4 entries each
+  core::ConeMemo gcones(1), econes(1);   // capacity floor: 8 entries each
+  core::ExecOptions exec;
+  exec.garbler_plan_cache = &gcache;
+  exec.evaluator_plan_cache = &ecache;
+  exec.garbler_cone_memo = &gcones;
+  exec.evaluator_cone_memo = &econes;
+  arm::Arm2Gc::Session session(machine, exec);
+
+  std::vector<double> hit_ratios;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const arm::Arm2GcResult r =
+        session.run(std::vector<std::uint32_t>{100 + i}, std::vector<std::uint32_t>{7 * i});
+    EXPECT_EQ(r.outputs[0], 100 + i + 7 * i) << "run " << i;
+    EXPECT_EQ(r.cycles, ref.cycles) << "run " << i;
+    EXPECT_EQ(r.stats.garbled_non_xor, ref.stats.garbled_non_xor) << "run " << i;
+    EXPECT_EQ(r.stats.comm.total(), ref.stats.comm.total()) << "run " << i;
+    // Sane ratios: bounded by [0,1), since the run's distinct states exceed
+    // the 4-entry cache — a 100% hit rate would indicate aliasing.
+    const double hr = r.stats.plan_cache_hit_ratio();
+    EXPECT_GE(hr, 0.0);
+    EXPECT_LT(hr, 1.0) << "run " << i;
+    EXPECT_LE(r.stats.cone_hit_ratio(), 1.0);
+    hit_ratios.push_back(hr);
+    EXPECT_LE(gcache.entries(), gcache.capacity());
+    EXPECT_LE(gcones.entries(), gcones.capacity());
+  }
+  // Monotone-sane trajectory: warm runs never do worse than the cold first
+  // run, and the deterministic churn reaches a steady state (the repeating
+  // trajectory leaves the same LRU composition after every run).
+  for (std::size_t i = 1; i < hit_ratios.size(); ++i) {
+    EXPECT_GE(hit_ratios[i], hit_ratios[0]) << "run " << i;
+  }
+  EXPECT_DOUBLE_EQ(hit_ratios[2], hit_ratios[1]);
+  EXPECT_DOUBLE_EQ(hit_ratios[3], hit_ratios[2]);
+  EXPECT_EQ(gcache.capacity(), 4u);
+  EXPECT_EQ(gcones.capacity(), 8u);
+  EXPECT_GT(gcache.evictions(), 0u);
+  EXPECT_GT(gcones.evictions(), 0u);
+}
+
 TEST(PlanCache, XorRelationAmongRootsDoesNotAliasStates) {
   // Regression: two entry states can have identical public values, flips and
   // fingerprint *equality classes* while differing in XOR-linear structure —

@@ -356,6 +356,11 @@ void expect_results_identical(const RunResult& x, const RunResult& y) {
   EXPECT_EQ(x.stats.garbled_non_xor, y.stats.garbled_non_xor);
   EXPECT_EQ(x.stats.skipped_non_xor, y.stats.skipped_non_xor);
   EXPECT_EQ(x.stats.non_xor_slots, y.stats.non_xor_slots);
+  // Table *content*, not just byte counts: the digest folds every garbled
+  // block the garbler sent.
+  EXPECT_TRUE(x.stats.table_digest == y.stats.table_digest);
+  EXPECT_EQ(x.stats.ot_choices, y.stats.ot_choices);
+  EXPECT_EQ(x.stats.ot_batches, y.stats.ot_batches);
   EXPECT_EQ(x.stats.comm.garbled_table_bytes, y.stats.comm.garbled_table_bytes);
   EXPECT_EQ(x.stats.comm.input_label_bytes, y.stats.comm.input_label_bytes);
   EXPECT_EQ(x.stats.comm.ot_bytes, y.stats.comm.ot_bytes);
