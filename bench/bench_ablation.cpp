@@ -6,6 +6,7 @@
 //  3. Hamming circuit structure (bit-serial counter vs popcount tree);
 //  4. SkipGate planner overhead (local compute traded for communication).
 #include <chrono>
+#include <exception>
 #include <thread>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "bench_util.h"
 #include "circuits/tg_circuits.h"
 #include "crypto/rng.h"
+#include "gc/transport_socket.h"
 #include "programs/programs.h"
 
 using namespace arm2gc;
@@ -150,12 +152,50 @@ int main(int argc, char** argv) {
     std::printf("warm session, threaded pipe:       %7.2f ms (wall; hw_concurrency=%u)\n",
                 warm_pipe, std::thread::hardware_concurrency());
 
+    // Socket transport on localhost: the two party endpoints over a real TCP
+    // connection (two threads in one process; the exact code path of
+    // tools/arm2gc_party, including connection setup per run). The delta to
+    // the threaded pipe is the kernel socket cost; the delta to lock-step is
+    // overlap minus that cost.
+    core::WarmState socket_gwarm(core::Role::Garbler);
+    core::WarmState socket_ewarm(core::Role::Evaluator);
+    auto socket_once = [&] {
+      gc::SocketListener listener("127.0.0.1", 0);
+      const std::uint16_t port = listener.port();
+      std::exception_ptr garbler_error;
+      std::thread garbler_thread([&] {
+        try {
+          auto sock = gc::SocketDuplex::connect("127.0.0.1", port);
+          (void)machine.run_garbler(a, sock->end(),
+                                    machine.party_options(core::Role::Garbler), &socket_gwarm);
+        } catch (...) {
+          garbler_error = std::current_exception();
+        }
+      });
+      try {
+        auto sock = listener.accept();
+        (void)machine.run_evaluator(b, sock->end(),
+                                    machine.party_options(core::Role::Evaluator),
+                                    &socket_ewarm);
+      } catch (...) {
+        garbler_thread.join();  // a joinable thread at unwind would terminate
+        throw;
+      }
+      garbler_thread.join();
+      if (garbler_error) std::rethrow_exception(garbler_error);
+    };
+    socket_once();  // warm the caches and base state before timing
+    const double warm_socket = best_wall_ms(5, socket_once);
+    std::printf("warm session, TCP socket loopback: %7.2f ms (wall; two endpoints)\n",
+                warm_socket);
+
     if (benchutil::json().enabled()) {
       benchutil::json().add("hamming160.cold_ms_cone_off", cold_off);
       benchutil::json().add("hamming160.cold_ms_cone_on", cold_on);
       benchutil::json().add("hamming160.cold_cone_hit_ratio", hit_ratio);
       benchutil::json().add("hamming160.warm_session_ms_lockstep", warm_lock);
       benchutil::json().add("hamming160.warm_session_ms_threaded_pipe_wall", warm_pipe);
+      benchutil::json().add("hamming160.warm_session_ms_socket_loopback_wall", warm_socket);
       benchutil::json().add("hardware_concurrency",
                             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
     }

@@ -70,35 +70,65 @@ std::uint64_t Arm2Gc::conventional_non_xor(std::uint64_t cycles) const {
   return cycles * cpu_.nl.count_non_free();
 }
 
+namespace {
+/// WarmState options for a session role: budgets and backend from the exec
+/// tuning; the OT seed is the same protocol seed every run() hands the
+/// driver (RunOptions default; Arm2Gc::run never overrides it), so the warm
+/// extension streams continue exactly where the last run stopped.
+core::WarmState::Options session_warm_options(const core::ExecOptions& exec) {
+  core::WarmState::Options w;
+  w.plan_cache_budget_bytes = exec.plan_cache_budget_bytes;
+  w.cone_memo_budget_bytes = exec.cone_memo_budget_bytes;
+  w.ot_backend = exec.ot_backend;
+  w.seed = core::RunOptions{}.seed;
+  return w;
+}
+}  // namespace
+
 Arm2Gc::Session::Session(const Arm2Gc& machine, core::ExecOptions exec)
     : machine_(&machine),
       exec_(exec),
-      garbler_cache_(exec.plan_cache_budget_bytes),
-      evaluator_cache_(exec.plan_cache_budget_bytes),
-      garbler_cones_(exec.cone_memo_budget_bytes),
-      evaluator_cones_(exec.cone_memo_budget_bytes),
-      // OT states derive from the same protocol seed every run() hands the
-      // driver (RunOptions default; Arm2Gc::run never overrides it), so the
-      // warm extension streams continue exactly where the last run stopped.
-      ot_sender_(core::RunOptions{}.seed),
-      ot_receiver_(core::RunOptions{}.seed) {
+      garbler_warm_(core::Role::Garbler, session_warm_options(exec)),
+      evaluator_warm_(core::Role::Evaluator, session_warm_options(exec)) {
   exec_.plan_cache = true;  // warm caches are the point of a session
-  if (exec_.garbler_plan_cache == nullptr) exec_.garbler_plan_cache = &garbler_cache_;
-  if (exec_.evaluator_plan_cache == nullptr) exec_.evaluator_plan_cache = &evaluator_cache_;
-  if (exec_.cone_memo) {
-    if (exec_.garbler_cone_memo == nullptr) exec_.garbler_cone_memo = &garbler_cones_;
-    if (exec_.evaluator_cone_memo == nullptr) exec_.evaluator_cone_memo = &evaluator_cones_;
-  }
-  if (exec_.ot_backend == gc::OtBackend::Iknp) {
-    if (exec_.ot_sender_state == nullptr) exec_.ot_sender_state = &ot_sender_;
-    if (exec_.ot_receiver_state == nullptr) exec_.ot_receiver_state = &ot_receiver_;
-  }
+  if (exec_.garbler_warm == nullptr) exec_.garbler_warm = &garbler_warm_;
+  if (exec_.evaluator_warm == nullptr) exec_.evaluator_warm = &evaluator_warm_;
 }
 
 Arm2GcResult Arm2Gc::Session::run(std::span<const std::uint32_t> alice,
                                   std::span<const std::uint32_t> bob, std::uint64_t max_cycles,
                                   gc::Scheme scheme) {
   return machine_->run(alice, bob, max_cycles, scheme, exec_);
+}
+
+core::PartyOptions Arm2Gc::party_options(core::Role role, std::uint64_t max_cycles,
+                                         gc::Scheme scheme,
+                                         const core::ExecOptions& exec) const {
+  core::RunOptions opts;
+  opts.mode = core::Mode::SkipGate;
+  opts.scheme = scheme;
+  opts.halt_wire = cpu_.halt_wire;
+  opts.max_cycles = max_cycles;
+  opts.exec = exec;
+  return core::party_options(role, opts);
+}
+
+Arm2GcResult Arm2Gc::run_garbler(std::span<const std::uint32_t> alice, gc::Transport& tx,
+                                 const core::PartyOptions& opts, core::WarmState* warm) const {
+  core::GarblerEndpoint endpoint(cpu_.nl, opts, tx, warm);
+  return decode_run(endpoint.run(words_to_bits(alice, cfg_.alice_words, "Alice")),
+                    cfg_.out_words);
+}
+
+Arm2GcResult Arm2Gc::run_evaluator(std::span<const std::uint32_t> bob, gc::Transport& tx,
+                                   const core::PartyOptions& opts,
+                                   core::WarmState* warm) const {
+  core::EvaluatorEndpoint endpoint(cpu_.nl, opts, tx, warm);
+  const core::RunResult r = endpoint.run(words_to_bits(bob, cfg_.bob_words, "Bob"));
+  Arm2GcResult res;
+  res.cycles = r.final_cycle + 1;
+  res.stats = r.stats;  // outputs stay empty: the evaluator never learns them
+  return res;
 }
 
 Arm2GcResult Arm2Gc::run_reference(std::span<const std::uint32_t> alice,

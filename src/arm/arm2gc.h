@@ -60,6 +60,28 @@ class Arm2Gc {
                                            std::span<const std::uint32_t> bob,
                                            std::uint64_t max_cycles = 1u << 20) const;
 
+  /// Expands driver-style tuning into one role's endpoint options for this
+  /// machine (SkipGate mode, halt-driven on the CPU's halt wire). Adjust
+  /// private_seed on the result before a real two-process deployment.
+  [[nodiscard]] core::PartyOptions party_options(core::Role role,
+                                                 std::uint64_t max_cycles = 1u << 20,
+                                                 gc::Scheme scheme = gc::Scheme::HalfGates,
+                                                 const core::ExecOptions& exec = {}) const;
+
+  /// Single-role runs over an external transport (e.g. a TCP socket to a
+  /// remote peer): the garbler-service / evaluator-client API behind
+  /// tools/arm2gc_party. `opts` must agree with the peer's on everything
+  /// public (see core::PartyOptions). run_garbler decodes the output memory;
+  /// run_evaluator leaves `outputs` empty (Bob contributes labels and
+  /// choices, he does not learn the result in this protocol) but reports the
+  /// same cycle count, stats and received-table digest.
+  [[nodiscard]] Arm2GcResult run_garbler(std::span<const std::uint32_t> alice,
+                                         gc::Transport& tx, const core::PartyOptions& opts,
+                                         core::WarmState* warm = nullptr) const;
+  [[nodiscard]] Arm2GcResult run_evaluator(std::span<const std::uint32_t> bob,
+                                           gc::Transport& tx, const core::PartyOptions& opts,
+                                           core::WarmState* warm = nullptr) const;
+
   /// Long-lived execution session: keeps per-party plan caches and cone
   /// memos warm across runs of the same machine. The public signature
   /// trajectory of a run depends only on the program (secret inputs
@@ -71,15 +93,16 @@ class Arm2Gc {
   /// reclassified. Under the IKNP OT backend the session also keeps the
   /// per-role extension states warm, so the kappa base OTs run once and
   /// amortize across every later run (mirroring the plan-cache warm path);
-  /// a run that throws mid-protocol can leave those states desynced — the
-  /// next run then fails on the OT check block rather than mis-delivering.
-  /// Not thread-safe; use one Session per worker.
+  /// a run that throws mid-protocol resets the warm OT state on both
+  /// endpoints (core::WarmState::reset_ot), so the next run re-bases and
+  /// succeeds instead of tripping the OT check block — recovery without
+  /// rebuilding the session. Not thread-safe; use one Session per worker.
   class Session {
    public:
     /// `exec` seeds transport/budget tuning; `plan_cache` is forced on, and
-    /// the session's own cache/memo (and, for the Iknp backend, OT state)
-    /// fills each per-party pointer the caller left null (caller-supplied
-    /// ones are used as given).
+    /// the session's own per-role WarmState (plan cache + cone memo and, for
+    /// the Iknp backend, OT extension state) fills each warm slot the caller
+    /// left null (caller-supplied ones are used as given).
     explicit Session(const Arm2Gc& machine, core::ExecOptions exec = {});
 
     [[nodiscard]] Arm2GcResult run(std::span<const std::uint32_t> alice,
@@ -87,15 +110,14 @@ class Arm2Gc {
                                    std::uint64_t max_cycles = 1u << 20,
                                    gc::Scheme scheme = gc::Scheme::HalfGates);
 
+    [[nodiscard]] core::WarmState& garbler_warm() { return garbler_warm_; }
+    [[nodiscard]] core::WarmState& evaluator_warm() { return evaluator_warm_; }
+
    private:
     const Arm2Gc* machine_;
     core::ExecOptions exec_;
-    core::PlanCache garbler_cache_;
-    core::PlanCache evaluator_cache_;
-    core::ConeMemo garbler_cones_;
-    core::ConeMemo evaluator_cones_;
-    gc::IknpSenderState ot_sender_;
-    gc::IknpReceiverState ot_receiver_;
+    core::WarmState garbler_warm_;
+    core::WarmState evaluator_warm_;
   };
 
   [[nodiscard]] const CpuNetlist& cpu() const { return cpu_; }

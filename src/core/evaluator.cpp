@@ -215,6 +215,9 @@ void EvaluatorSession::eval_cycle(const CyclePlan& plan, std::uint64_t cycle) {
           gc::GarbledTable table;
           table.count = static_cast<std::uint8_t>(gc::blocks_per_gate(scheme_));
           tx_->recv(table.rows.data(), table.count);
+          for (std::uint8_t t = 0; t < table.count; ++t) {
+            table_digest_ = table_digest_.gf_double() ^ table.rows[t];
+          }
           lb_[w] = eval_.eval(lb_[g.a], lb_[g.b], table);
           lb_valid_[w] = 1;
           if (trace_) {

@@ -65,6 +65,13 @@ class EvaluatorSession {
   /// OT-phase counters of this session's receiver endpoint.
   [[nodiscard]] const gc::OtPhaseStats& ot_stats() const { return ot_->stats(); }
 
+  /// Running gf_double-mix digest of every garbled-table block *received*
+  /// (the mirror of GarblerSession::table_digest over the same byte stream):
+  /// on a correct run the two sides' digests are equal, which lets two
+  /// separate processes assert table-content agreement without shipping the
+  /// tables twice.
+  [[nodiscard]] crypto::Block table_digest() const { return table_digest_; }
+
  private:
   [[nodiscard]] bool bob_bit(std::uint32_t idx, const netlist::BitVec& bob,
                              const char* what) const;
@@ -88,6 +95,7 @@ class EvaluatorSession {
   std::vector<crypto::Block> dff_lb_;
   std::vector<std::uint8_t> dff_lb_valid_;
   crypto::Block const_lb_[2];
+  crypto::Block table_digest_{};
   bool trace_;
 };
 

@@ -2,11 +2,7 @@
 
 #include <exception>
 #include <stdexcept>
-#include <string>
 #include <thread>
-
-#include "core/evaluator.h"
-#include "core/garbler.h"
 
 namespace arm2gc::core {
 
@@ -15,212 +11,51 @@ namespace {
 using netlist::BitVec;
 using netlist::Netlist;
 
-PlannerOptions planner_options(const RunOptions& o, PlanCache* shared, ConeMemo* cones) {
-  PlannerOptions p;
-  p.mode = o.mode;
-  p.seed = o.seed;
-  p.cache = o.exec.plan_cache;
-  p.cache_budget_bytes = o.exec.plan_cache_budget_bytes;
-  p.shared_cache = shared;
-  // plan_cache == false is the from-scratch baseline: no reuse of any kind.
-  p.cone_memo = o.exec.plan_cache && o.exec.cone_memo;
-  p.cone_memo_budget_bytes = o.exec.cone_memo_budget_bytes;
-  p.shared_cone_memo = cones;
-  p.cone_target_gates = o.exec.cone_target_gates;
-  return p;
-}
-
-/// The per-cycle termination decision, computed from public data only. Both
-/// parties run it against their own planner; determinism keeps them agreed.
-bool decide_final(const Planner& planner, const RunOptions& opts, bool halt_driven,
-                  std::uint64_t cycle, std::uint64_t cc) {
-  bool is_final = !halt_driven && cycle + 1 == cc;
-  if (opts.halt_wire && opts.mode == Mode::SkipGate) {
-    if (!planner.wire_public(*opts.halt_wire)) {
-      throw std::runtime_error(
-          "skipgate: halt signal became secret (secret program counter); "
-          "run with fixed_cycles instead");
-    }
-    if (planner.wire_value(*opts.halt_wire)) is_final = true;
-  }
-  if (halt_driven && !is_final && cycle + 1 == cc) {
-    throw std::runtime_error("skipgate: max_cycles reached without halt");
-  }
-  return is_final;
-}
-
-/// Garbler role for the shared cycle loop below.
-struct GarblerParty {
-  GarblerSession session;
-  const StreamProvider* streams;
-  const BitVec& alice_bits;
-  const BitVec& pub_bits;
-
-  GarblerParty(const Netlist& nl, const RunOptions& opts, gc::Transport& tx,
-               const StreamProvider* s, const BitVec& alice, const BitVec& pub)
-      : session(nl, opts.mode, opts.scheme, opts.seed, tx, opts.exec.ot_backend,
-                opts.exec.ot_sender_state),
-        streams(s),
-        alice_bits(alice),
-        pub_bits(pub) {}
-
-  void ot_reset() {}  // the sender's batch runs inside reset()/begin()
-  void ot_begin(std::uint64_t) {}
-  void reset() { session.reset(alice_bits, pub_bits); }
-  void begin(std::uint64_t cycle, const BitVec& pub_stream) {
-    BitVec sa;
-    if (streams != nullptr && streams->alice) sa = streams->alice(cycle);
-    session.begin_cycle(sa, pub_stream);
-  }
-  void work(const CyclePlan& plan, std::uint64_t) { session.garble_cycle(plan); }
-  void sample(const CyclePlan& plan, RunResult& result) {
-    result.sampled_outputs.push_back(session.decode_outputs(plan));
-  }
-  void latch(const CyclePlan& plan) { session.latch(plan); }
-  void finalize(RunStats& stats) const {
-    // The sender side is the authoritative OT ledger (counts are identical
-    // on the receiver side by construction).
-    const gc::OtPhaseStats& o = session.ot_stats();
-    stats.ot_choices += o.choices;
-    stats.ot_batches += o.batches;
-    stats.ot_base_ots += o.base_ots;
-    stats.ot_wall_ns += o.wall_ns;
-    stats.table_digest = session.table_digest();
-  }
-};
-
-/// Evaluator role for the shared cycle loop below.
-struct EvaluatorParty {
-  EvaluatorSession session;
-  const StreamProvider* streams;
-  const BitVec& bob_bits;
-
-  EvaluatorParty(const Netlist& nl, const RunOptions& opts, gc::Transport& tx,
-                 const StreamProvider* s, const BitVec& bob)
-      : session(nl, opts.mode, opts.scheme, opts.seed, tx, opts.exec.ot_backend,
-                opts.exec.ot_receiver_state),
-        streams(s),
-        bob_bits(bob) {}
-
-  void ot_reset() { session.ot_reset(bob_bits); }
-  void ot_begin(std::uint64_t cycle) {
-    // The choice bits are copied into the OT queue synchronously; nothing
-    // here outlives the call.
-    BitVec sb;
-    if (streams != nullptr && streams->bob) sb = streams->bob(cycle);
-    session.ot_begin(sb);
-  }
-  void reset() { session.reset(); }
-  void begin(std::uint64_t, const BitVec&) { session.begin_cycle(); }
-  void work(const CyclePlan& plan, std::uint64_t cycle) { session.eval_cycle(plan, cycle); }
-  void sample(const CyclePlan& plan, RunResult&) { session.send_outputs(plan); }
-  void latch(const CyclePlan& plan) { session.latch(plan); }
-  void finalize(RunStats& stats) const {
-    stats.ot_wall_ns += session.ot_stats().wall_ns;
-  }
-};
-
-/// Both roles interleaved on one thread — the lock-step schedule. The
-/// evaluator emits its OT request before the garbler's matching phase (the
-/// extension's receiver-first round trip) and sends its output labels
-/// before the garbler decodes them.
-struct LockstepParty {
-  GarblerParty garbler;
-  EvaluatorParty evaluator;
-
-  void ot_reset() {
-    evaluator.ot_reset();
-    garbler.ot_reset();
-  }
-  void ot_begin(std::uint64_t cycle) {
-    evaluator.ot_begin(cycle);
-    garbler.ot_begin(cycle);
-  }
-  void reset() {
-    garbler.reset();
-    evaluator.reset();
-  }
-  void begin(std::uint64_t cycle, const BitVec& pub_stream) {
-    garbler.begin(cycle, pub_stream);
-    evaluator.begin(cycle, pub_stream);
-  }
-  void work(const CyclePlan& plan, std::uint64_t cycle) {
-    garbler.work(plan, cycle);
-    evaluator.work(plan, cycle);
-  }
-  void sample(const CyclePlan& plan, RunResult& result) {
-    evaluator.sample(plan, result);
-    garbler.sample(plan, result);
-  }
-  void latch(const CyclePlan& plan) {
-    garbler.latch(plan);
-    evaluator.latch(plan);
-  }
-  void finalize(RunStats& stats) const {
-    garbler.finalize(stats);
-    evaluator.finalize(stats);
-  }
-};
-
-/// The per-cycle protocol schedule, identical for every party and transport:
-/// plan (own planner), act, sample, latch. Keeping it in one place means a
-/// schedule change cannot desynchronize one party or one transport only.
-template <typename Party>
-RunResult run_party(const Netlist& nl, const RunOptions& opts, const BitVec& pub_bits,
-                    const StreamProvider* streams, bool halt_driven, std::uint64_t cc,
-                    PlanCache* cache, ConeMemo* cones, Party& party) {
-  Planner planner(nl, planner_options(opts, cache, cones));
-  planner.reset(pub_bits);
-  party.ot_reset();  // receiver-first: the OT request precedes the bindings
-  party.reset();
-
-  RunResult result;
-  RunStats stats;
-  for (std::uint64_t cycle = 0; cycle < cc; ++cycle) {
-    BitVec sp;
-    if (streams != nullptr && streams->pub) sp = streams->pub(cycle);
-    planner.begin_cycle(sp);
-    party.ot_begin(cycle);
-    party.begin(cycle, sp);
-
-    planner.forward();
-    const bool is_final = decide_final(planner, opts, halt_driven, cycle, cc);
-    const CyclePlan plan = planner.finish(is_final);
-
-    party.work(plan, cycle);
-    if (plan.sample) party.sample(plan, result);
-    stats.cycles++;
-    stats.non_xor_slots += planner.non_free_per_cycle();
-    stats.garbled_non_xor += plan.emitted;
-
-    if (is_final) {
-      result.final_cycle = cycle;
-      break;
-    }
-    planner.latch(plan);
-    party.latch(plan);
-  }
-
-  stats.skipped_non_xor = stats.non_xor_slots - stats.garbled_non_xor;
-  stats.plan_cache_hits = planner.cache_hits();
-  stats.plan_cache_misses = planner.cache_misses();
-  stats.cone_hits = planner.cone_hits();
-  stats.cone_misses = planner.cone_misses();
-  party.finalize(stats);
-  result.stats = stats;
-  if (!result.sampled_outputs.empty()) result.final_outputs = result.sampled_outputs.back();
-  return result;
-}
-
+/// Lock-step schedule: both endpoints interleaved on one thread over the
+/// non-blocking in-memory duplex, in exactly the cross-party order the
+/// endpoint contract specifies (core/party.h). The evaluator runs in
+/// plan-following mode — one address space is one trust domain, and both
+/// parties' planners provably derive identical plans (plan_test), so
+/// planning once is pure wall-clock savings with identical results; the
+/// driver reports the garbler's counters (which match a two-process run)
+/// plus the evaluator's OT wall time (the lock-step run spends both
+/// parties' time on one thread).
 RunResult run_lockstep(const Netlist& nl, const RunOptions& opts, const BitVec& alice_bits,
                        const BitVec& bob_bits, const BitVec& pub_bits,
-                       const StreamProvider* streams, bool halt_driven, std::uint64_t cc) {
+                       const StreamProvider* streams) {
   gc::InMemoryDuplex duplex;
-  LockstepParty party{
-      GarblerParty(nl, opts, duplex.garbler_end(), streams, alice_bits, pub_bits),
-      EvaluatorParty(nl, opts, duplex.evaluator_end(), streams, bob_bits)};
-  RunResult result = run_party(nl, opts, pub_bits, streams, halt_driven, cc,
-                               opts.exec.garbler_plan_cache, opts.exec.garbler_cone_memo, party);
+  GarblerEndpoint garbler(nl, party_options(Role::Garbler, opts), duplex.garbler_end(),
+                          opts.exec.garbler_warm);
+  EvaluatorEndpoint evaluator(nl, party_options(Role::Evaluator, opts), duplex.evaluator_end(),
+                              opts.exec.evaluator_warm, garbler);
+  try {
+    evaluator.start_request(bob_bits, pub_bits, streams);
+    garbler.start(alice_bits, pub_bits, streams);
+    evaluator.start_finish();
+    for (std::uint64_t cycle = 0;; ++cycle) {
+      evaluator.begin_request(cycle);
+      garbler.begin(cycle);
+      evaluator.begin_finish();
+      const bool final_g = garbler.work(cycle);
+      const bool final_e = evaluator.work(cycle);
+      evaluator.sample();
+      garbler.sample();
+      if (final_g != final_e) {
+        // Unreachable with intact planners: termination is a deterministic
+        // public decision both sides compute identically.
+        throw std::logic_error("skipgate: endpoints disagree on the final cycle");
+      }
+      if (final_g) break;
+      garbler.latch();
+      evaluator.latch();
+    }
+  } catch (...) {
+    garbler.abort();
+    evaluator.abort();
+    throw;
+  }
+  RunResult result = garbler.finish();
+  result.stats.ot_wall_ns += evaluator.finish().stats.ot_wall_ns;
   result.stats.comm = duplex.stats();
   result.stats.transport_high_water_blocks = duplex.high_water_blocks();
   return result;
@@ -240,32 +75,33 @@ bool is_transport_closed(const std::exception_ptr& p) {
 
 RunResult run_threaded(const Netlist& nl, const RunOptions& opts, const BitVec& alice_bits,
                        const BitVec& bob_bits, const BitVec& pub_bits,
-                       const StreamProvider* streams, bool halt_driven, std::uint64_t cc) {
+                       const StreamProvider* streams) {
   gc::ThreadedPipeDuplex duplex(opts.exec.pipe_blocks);
   RunResult result;
   std::exception_ptr garbler_error;
   std::exception_ptr evaluator_error;
 
-  // Garbler party on a worker thread: it runs ahead of the evaluator until
-  // the pipe's backpressure stalls it; output decoding is the only point
-  // where it waits for the evaluator.
+  // Garbler endpoint on a worker thread: exactly the code path a remote
+  // garbler service runs, just over the pipe instead of a socket. It runs
+  // ahead of the evaluator until the pipe's backpressure stalls it; output
+  // decoding is the only point where it waits for the evaluator.
   std::thread garbler_thread([&] {
     try {
-      GarblerParty party(nl, opts, duplex.garbler_end(), streams, alice_bits, pub_bits);
-      result = run_party(nl, opts, pub_bits, streams, halt_driven, cc,
-                         opts.exec.garbler_plan_cache, opts.exec.garbler_cone_memo, party);
+      GarblerEndpoint garbler(nl, party_options(Role::Garbler, opts), duplex.garbler_end(),
+                              opts.exec.garbler_warm);
+      result = garbler.run(alice_bits, pub_bits, streams);
     } catch (...) {
       garbler_error = std::current_exception();
       duplex.close();
     }
   });
 
-  // Evaluator party on the calling thread, with its own planner making the
-  // same deterministic decisions.
+  // Evaluator endpoint on the calling thread, with its own planner making
+  // the same deterministic decisions.
   try {
-    EvaluatorParty party(nl, opts, duplex.evaluator_end(), streams, bob_bits);
-    (void)run_party(nl, opts, pub_bits, streams, halt_driven, cc,
-                    opts.exec.evaluator_plan_cache, opts.exec.evaluator_cone_memo, party);
+    EvaluatorEndpoint evaluator(nl, party_options(Role::Evaluator, opts),
+                                duplex.evaluator_end(), opts.exec.evaluator_warm);
+    (void)evaluator.run(bob_bits, pub_bits, streams);
   } catch (...) {
     evaluator_error = std::current_exception();
     duplex.close();
@@ -291,37 +127,49 @@ RunResult run_threaded(const Netlist& nl, const RunOptions& opts, const BitVec& 
 
 }  // namespace
 
+PartyOptions party_options(Role role, const RunOptions& opts) {
+  (void)role;  // the expansion is role-symmetric; the role picks the endpoint
+  PartyOptions p;
+  p.mode = opts.mode;
+  p.scheme = opts.scheme;
+  p.fixed_cycles = opts.fixed_cycles;
+  p.halt_wire = opts.halt_wire;
+  p.max_cycles = opts.max_cycles;
+  p.protocol_seed = opts.seed;
+  p.private_seed = opts.seed;  // in-process determinism convention
+  p.plan_cache = opts.exec.plan_cache;
+  p.plan_cache_budget_bytes = opts.exec.plan_cache_budget_bytes;
+  p.cone_memo = opts.exec.cone_memo;
+  p.cone_memo_budget_bytes = opts.exec.cone_memo_budget_bytes;
+  p.cone_target_gates = opts.exec.cone_target_gates;
+  p.ot_backend = opts.exec.ot_backend;
+  return p;
+}
+
 SkipGateDriver::SkipGateDriver(const Netlist& nl, RunOptions opts) : nl_(nl), opts_(opts) {}
 
 RunResult SkipGateDriver::run(const BitVec& alice_bits, const BitVec& bob_bits,
                               const BitVec& pub_bits, const StreamProvider* streams) {
-  if (opts_.halt_wire && *opts_.halt_wire >= nl_.num_wires()) {
-    throw std::invalid_argument("skipgate: halt wire out of range");
+  // Role-scoped WarmState makes cross-party sharing and role mixups
+  // construction errors; surface them before any thread or transport is set
+  // up (the endpoints re-check, but a worker thread's error would race the
+  // peer's).
+  if (opts_.exec.garbler_warm != nullptr &&
+      opts_.exec.garbler_warm == opts_.exec.evaluator_warm) {
+    throw std::invalid_argument("skipgate: one WarmState handed to both parties");
   }
-  const bool halt_driven = opts_.halt_wire.has_value() && !opts_.fixed_cycles.has_value();
-  if (halt_driven && opts_.mode == Mode::Conventional) {
-    throw std::invalid_argument(
-        "skipgate: conventional mode cannot observe the halt wire; provide fixed_cycles");
+  if (opts_.exec.garbler_warm != nullptr &&
+      opts_.exec.garbler_warm->role() != Role::Garbler) {
+    throw std::invalid_argument("skipgate: garbler slot holds an evaluator-role WarmState");
   }
-  const std::uint64_t cc = opts_.fixed_cycles ? *opts_.fixed_cycles : opts_.max_cycles;
-  if (cc == 0) throw std::invalid_argument("skipgate: zero cycles requested");
-
+  if (opts_.exec.evaluator_warm != nullptr &&
+      opts_.exec.evaluator_warm->role() != Role::Evaluator) {
+    throw std::invalid_argument("skipgate: evaluator slot holds a garbler-role WarmState");
+  }
   if (opts_.exec.transport == TransportKind::ThreadedPipe) {
-    // Neither PlanCache nor ConeMemo is thread-safe; the two party threads
-    // must not share one.
-    if (opts_.exec.garbler_plan_cache != nullptr &&
-        opts_.exec.garbler_plan_cache == opts_.exec.evaluator_plan_cache) {
-      throw std::invalid_argument(
-          "skipgate: threaded transport requires distinct per-party plan caches");
-    }
-    if (opts_.exec.garbler_cone_memo != nullptr &&
-        opts_.exec.garbler_cone_memo == opts_.exec.evaluator_cone_memo) {
-      throw std::invalid_argument(
-          "skipgate: threaded transport requires distinct per-party cone memos");
-    }
-    return run_threaded(nl_, opts_, alice_bits, bob_bits, pub_bits, streams, halt_driven, cc);
+    return run_threaded(nl_, opts_, alice_bits, bob_bits, pub_bits, streams);
   }
-  return run_lockstep(nl_, opts_, alice_bits, bob_bits, pub_bits, streams, halt_driven, cc);
+  return run_lockstep(nl_, opts_, alice_bits, bob_bits, pub_bits, streams);
 }
 
 }  // namespace arm2gc::core

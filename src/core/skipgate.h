@@ -1,87 +1,27 @@
-// SkipGate (paper §3): per-clock-cycle, gate-level elision of garbling work,
-// structured as three separable roles over a pluggable transport:
+// In-process two-party driver (paper §3): a thin composition of the two
+// single-role endpoints (core/party.h) over an in-process transport. The
+// endpoints own all protocol state; this layer only chooses the transport
+// and interleaves the shared cycle schedule:
 //
-//   Planner            (core/plan.h)      deterministic public bookkeeping
-//                                         both parties run independently; its
-//                                         per-cycle CyclePlan is cached by
-//                                         entry-state signature.
-//   GarblerSession     (core/garbler.h)   Alice's label state; consumes the
-//                                         plan, emits garbled tables/labels.
-//   EvaluatorSession   (core/evaluator.h) Bob's label state; consumes the
-//                                         plan and the garbler's frames.
+//   GarblerEndpoint    (core/party.h)  Alice: planner + labels + OT sends
+//   EvaluatorEndpoint  (core/party.h)  Bob: planner + eval + OT choices
 //
-// The SkipGateDriver below wires the three together over a gc::Transport:
-// either the lock-step in-memory duplex (single thread, exactly the paper's
-// sequential schedule) or a threaded bounded pipe that lets the garbler run
-// ahead of the evaluator — the two transports produce bit-identical results
-// and byte counts.
+// Transports: the lock-step in-memory duplex (single thread, exactly the
+// paper's sequential schedule, the two endpoints' hooks interleaved) or a
+// threaded bounded pipe that lets the garbler run ahead of the evaluator
+// (each endpoint simply run()s on its own thread — the same code path a
+// socket deployment uses). All transports produce bit-identical results,
+// digests and byte counts; tools/arm2gc_party proves the same for two
+// separate OS processes over TCP (gc/transport_socket.h).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <optional>
-#include <vector>
 
-#include "core/plan.h"
-#include "crypto/block.h"
-#include "gc/garble.h"
-#include "gc/otext.h"
+#include "core/party.h"
 #include "gc/transport.h"
 #include "netlist/netlist.h"
 
 namespace arm2gc::core {
-
-struct RunStats {
-  std::uint64_t cycles = 0;
-  /// Garbled tables actually transferred: the paper's "# of Garbled Non-XOR".
-  std::uint64_t garbled_non_xor = 0;
-  /// Non-affine gate slots (gate x cycle) that were *not* garbled.
-  std::uint64_t skipped_non_xor = 0;
-  /// Non-affine gate slots encountered = count_non_free() x cycles; equals
-  /// the conventional-GC cost of the same run.
-  std::uint64_t non_xor_slots = 0;
-  /// Cycles whose classification was served from the plan cache / computed.
-  std::uint64_t plan_cache_hits = 0;
-  std::uint64_t plan_cache_misses = 0;
-  /// Cone-granular memo counters: segments adopted from / classified into
-  /// the cone memo on cycles the whole-netlist plan cache missed. A cone hit
-  /// is work the flat cache could not save (similar-but-not-identical entry
-  /// states, e.g. ARM loop iterations differing only in a public counter).
-  std::uint64_t cone_hits = 0;
-  std::uint64_t cone_misses = 0;
-  /// Peak undelivered transport backlog, in 16-byte blocks.
-  std::uint64_t transport_high_water_blocks = 0;
-  /// OT subsystem counters. The count fields come from the sender role (the
-  /// authoritative batch ledger, identical across transports); ot_wall_ns is
-  /// wall time inside OT phases, transport waits included — the lock-step
-  /// driver sums both roles, the threaded driver reports the garbler's.
-  std::uint64_t ot_choices = 0;
-  std::uint64_t ot_batches = 0;
-  std::uint64_t ot_base_ots = 0;  ///< base OTs run this execution (0 when warm)
-  std::uint64_t ot_wall_ns = 0;
-  /// Running gf_double-mix digest of every garbled-table block the garbler
-  /// sent (gc/golden_digest.h construction): pins table content — not just
-  /// byte counts — across transports, plan caching and OT backends.
-  crypto::Block table_digest{};
-  gc::CommStats comm;
-
-  /// Fraction of non-XOR slots SkipGate elided (0 when nothing ran).
-  [[nodiscard]] double skip_ratio() const {
-    return non_xor_slots == 0
-               ? 0.0
-               : static_cast<double>(skipped_non_xor) / static_cast<double>(non_xor_slots);
-  }
-  /// Fraction of cycles served from the plan cache.
-  [[nodiscard]] double plan_cache_hit_ratio() const {
-    const std::uint64_t total = plan_cache_hits + plan_cache_misses;
-    return total == 0 ? 0.0 : static_cast<double>(plan_cache_hits) / static_cast<double>(total);
-  }
-  /// Fraction of cache-missed cycles' cones stitched from the cone memo.
-  [[nodiscard]] double cone_hit_ratio() const {
-    const std::uint64_t total = cone_hits + cone_misses;
-    return total == 0 ? 0.0 : static_cast<double>(cone_hits) / static_cast<double>(total);
-  }
-};
 
 enum class TransportKind : std::uint8_t {
   InMemory,      ///< lock-step FIFOs, single thread
@@ -96,12 +36,6 @@ struct ExecOptions {
   /// from-scratch baseline for differential tests).
   bool plan_cache = true;
   std::size_t plan_cache_budget_bytes = 64u << 20;
-  /// Optional externally owned plan caches that persist across runs of the
-  /// same netlist (one per party; the lock-step driver uses the garbler's).
-  /// The public signature trajectory is independent of secret inputs, so a
-  /// warm cache skips classification for every repeated execution.
-  PlanCache* garbler_plan_cache = nullptr;
-  PlanCache* evaluator_plan_cache = nullptr;
   /// Cone-granular incremental planning: on whole-netlist cache misses,
   /// stitch the plan from per-cone memo hits and re-classify only dirty
   /// cones. Never changes results (every adopted cone is re-verified).
@@ -110,11 +44,13 @@ struct ExecOptions {
   /// Segmentation granularity (gates per cone, approximate; 0 = whole
   /// netlist as one cone). Public; both parties derive the same layout.
   std::size_t cone_target_gates = 512;
-  /// Optional externally owned cone memos that persist across runs (one per
-  /// party, like the plan caches). Cones hit across *similar* entry states,
-  /// so a warm memo helps even when the public trajectory does not repeat.
-  ConeMemo* garbler_cone_memo = nullptr;
-  ConeMemo* evaluator_cone_memo = nullptr;
+  /// Optional externally owned per-role warm state (plan cache + cone memo +
+  /// IKNP extension state) persisting across runs — Arm2Gc::Session supplies
+  /// these. Role-scoped by construction: a Role::Garbler WarmState for the
+  /// garbler slot, Role::Evaluator for the evaluator slot (endpoints reject
+  /// a mismatch), so the two party threads can never share mutable state.
+  WarmState* garbler_warm = nullptr;
+  WarmState* evaluator_warm = nullptr;
   /// ThreadedPipe ring capacity per direction, in 16-byte blocks; this is
   /// both the garbler's run-ahead window and the transport memory bound.
   std::size_t pipe_blocks = 1u << 15;
@@ -123,13 +59,6 @@ struct ExecOptions {
   /// non-OT byte count are bit-identical across backends; only OT traffic
   /// and timing differ.
   gc::OtBackend ot_backend = gc::OtBackend::Ideal;
-  /// Optional warm IKNP states (Iknp backend only; one per party role),
-  /// persisting the base OTs and extension streams across runs of one
-  /// pairing — Arm2Gc::Session supplies these alongside its plan caches.
-  /// Both must come from the same prior pairing; a mismatch is detected by
-  /// the per-batch check block, not silently wrong.
-  gc::IknpSenderState* ot_sender_state = nullptr;
-  gc::IknpReceiverState* ot_receiver_state = nullptr;
 };
 
 struct RunOptions {
@@ -142,33 +71,19 @@ struct RunOptions {
   std::optional<netlist::WireId> halt_wire;
   /// Safety bound when running halt-driven.
   std::uint64_t max_cycles = 1u << 20;
-  crypto::Block seed{0x4152433247430100ULL, 0x736b697067617465ULL};
+  /// Protocol seed; the in-process driver also uses it as both parties'
+  /// private seed, which keeps runs byte-reproducible (a two-process
+  /// deployment seeds each party privately via PartyOptions instead).
+  crypto::Block seed = kDefaultProtocolSeed;
   ExecOptions exec;
 };
 
-/// Per-cycle bit provider for streamed inputs (bit-serial circuits). Index i
-/// must cover every Input with streamed=true and bit_index==i of that owner.
-/// Under the ThreadedPipe transport the callbacks are invoked from both
-/// party threads (pub from both; alice from the garbler thread, bob from the
-/// evaluator thread) and must be safe to call concurrently.
-struct StreamProvider {
-  std::function<netlist::BitVec(std::uint64_t cycle)> alice;
-  std::function<netlist::BitVec(std::uint64_t cycle)> bob;
-  std::function<netlist::BitVec(std::uint64_t cycle)> pub;
-};
+/// Expands a driver-style RunOptions into one role's PartyOptions (the
+/// in-process determinism convention: private_seed == protocol seed).
+[[nodiscard]] PartyOptions party_options(Role role, const RunOptions& opts);
 
-struct RunResult {
-  /// Outputs of every sampled cycle (every cycle if outputs_every_cycle,
-  /// otherwise just the final one).
-  std::vector<netlist::BitVec> sampled_outputs;
-  /// Convenience: the last sampled outputs.
-  netlist::BitVec final_outputs;
-  std::uint64_t final_cycle = 0;  ///< index of the last executed cycle
-  RunStats stats;
-};
-
-/// Two-party sequential garbling driver (planner + garbler + evaluator,
-/// exchanging data only through a byte-accounted transport).
+/// Two-party sequential garbling driver: constructs both endpoints over an
+/// in-process duplex and runs the shared schedule.
 class SkipGateDriver {
  public:
   SkipGateDriver(const netlist::Netlist& nl, RunOptions opts);

@@ -97,6 +97,13 @@ class Transport {
   /// Extra bytes a real transport would carry for class `t`.
   virtual void account(Traffic t, std::uint64_t bytes) = 0;
 
+  /// Pushes any locally buffered sends to the peer. In-process transports
+  /// deliver eagerly and keep the no-op default; a buffering transport
+  /// (socket) must also flush internally before any blocking read. The
+  /// endpoints call this once at protocol end — the only send a later
+  /// own-recv can never flush implicitly.
+  virtual void flush() {}
+
   void send(crypto::Block b, Traffic t) { send(&b, 1, t); }
   crypto::Block recv() {
     crypto::Block b;

@@ -1,0 +1,101 @@
+// TCP socket transport: one party's gc::Transport over a blocking stream
+// socket, carrying exactly the framed block bytes the in-memory duplexes
+// specify ("frames are a batching hint, not a datagram boundary; the byte
+// stream is what is specified" — gc/transport.h). This redeems that header's
+// promise: two separate OS processes running one endpoint each produce
+// byte-identical outputs, garbled-table digests and per-class comm counts to
+// the in-process driver (tools/arm2gc_party + tests pin it).
+//
+// Accounting matches the in-memory duplexes exactly — send() accounts 16*n
+// bytes to its traffic class, account() adds protocol extras — so
+// garbler.sent() + evaluator.sent() of a socket run equals
+// InMemoryDuplex::stats() of the identical in-process run. The wire carries
+// no extra framing bytes: batching happens in a userspace write buffer that
+// is flushed before any blocking read (every recv() implies the peer may be
+// waiting on our pending bytes), which keeps the strictly alternating
+// protocol deadlock-free while coalescing the many small frames into few
+// syscalls. TCP_NODELAY is set for the same reason: the lock-step
+// request/response pattern would otherwise stall on delayed ACKs.
+//
+// Teardown: peer EOF/reset — or a local close() — surfaces as
+// gc::TransportClosed out of send/recv, the same type the in-process drivers
+// use to tell a teardown echo from a party's real failure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gc/transport.h"
+
+namespace arm2gc::gc {
+
+/// One party's end of an established TCP connection.
+class SocketDuplex {
+ public:
+  /// Wraps an already-connected stream socket; takes ownership of `fd`.
+  explicit SocketDuplex(int fd);
+  ~SocketDuplex();
+  SocketDuplex(const SocketDuplex&) = delete;
+  SocketDuplex& operator=(const SocketDuplex&) = delete;
+
+  /// Connects to a listening peer, retrying refused connections until
+  /// `timeout_ms` elapses so the two processes may start in either order.
+  static std::unique_ptr<SocketDuplex> connect(const std::string& host, std::uint16_t port,
+                                               int timeout_ms = 10'000);
+
+  [[nodiscard]] Transport& end();
+
+  /// Bytes this end sent (and account()ed), per traffic class. The peer's
+  /// sent() covers the other direction; the two together equal the
+  /// in-process duplex total for an identical run.
+  [[nodiscard]] CommStats sent() const;
+
+  /// Flushes buffered writes. send()/recv() manage this themselves; call it
+  /// before hand-rolled out-of-band exchanges or long local pauses.
+  void flush();
+
+  /// Out-of-protocol control bytes (unaccounted): the party tool's wrap-up
+  /// handshake (outputs/digest/stat exchange after the protocol proper).
+  void send_control(const void* data, std::size_t n);
+  void recv_control(void* data, std::size_t n);
+
+  /// Shuts the connection down; the peer's blocked operations raise
+  /// TransportClosed, as do any further operations here. Idempotent.
+  void close();
+
+ private:
+  class End;
+
+  void write_bytes(const void* data, std::size_t n);  ///< buffered
+  void read_bytes(void* data, std::size_t n);         ///< flushes, then reads fully
+
+  int fd_;
+  bool closed_ = false;
+  CommStats sent_stats_;
+  std::vector<std::uint8_t> wbuf_;
+  std::vector<std::uint8_t> rbuf_;  ///< fixed-size read staging
+  std::size_t rlen_ = 0;            ///< filled prefix of rbuf_
+  std::size_t rpos_ = 0;            ///< consumed prefix of rlen_
+  std::unique_ptr<End> end_;
+};
+
+/// Listening socket accepting one peer connection per accept() call.
+/// `port` 0 binds an ephemeral port; port() reports the bound one.
+class SocketListener {
+ public:
+  SocketListener(const std::string& host, std::uint16_t port);
+  ~SocketListener();
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::unique_ptr<SocketDuplex> accept();
+
+ private:
+  int fd_;
+  std::uint16_t port_;
+};
+
+}  // namespace arm2gc::gc

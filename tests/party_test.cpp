@@ -1,0 +1,432 @@
+// Party-endpoint API tests: the single-role endpoints over a real TCP
+// socket must be a perfect stand-in for the in-process driver. Pinned here:
+//   - two endpoints in two threads over TCP loopback == in-process
+//     InMemoryDuplex bit-for-bit (outputs, table digest, garbled_non_xor,
+//     per-class comm bytes) on fuzzed sequential netlists and on the ARM
+//     Hamming-160 program;
+//   - the evaluator's received-table digest equals the garbler's sent-table
+//     digest on every transport (the cross-process content certificate);
+//   - party-private seeds: endpoints seeded with *different* private
+//     randomness still agree on outputs and on each other's digest (only
+//     the label stream, and hence the digest value, moves);
+//   - warm-state negative paths: a one-sided OT reset (desynced warm
+//     extension state) fails loudly on the OT header/check — never a hang or
+//     a wrong label — on both in-process transports, and endpoint abort
+//     resets warm OT state so the *next* run recovers without rebuilding
+//     the session (base OTs simply rerun).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "arm/arm2gc.h"
+#include "builder/circuit_builder.h"
+#include "builder/stdlib.h"
+#include "core/party.h"
+#include "core/skipgate.h"
+#include "crypto/rng.h"
+#include "gc/transport.h"
+#include "gc/transport_socket.h"
+#include "programs/programs.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace arm2gc;
+using crypto::Block;
+using crypto::block_from_u64;
+using a2gtest::to_bits;
+
+/// Random sequential netlist with inputs/dffs of every ownership class, so
+/// reset OT batches, streamed batches and direct labels all carry traffic.
+netlist::Netlist random_party_netlist(crypto::CtrRng& rng) {
+  netlist::Netlist nl;
+  constexpr std::uint32_t kInPerParty = 3;
+  for (std::uint32_t i = 0; i < kInPerParty; ++i) {
+    nl.inputs.push_back(netlist::Input{netlist::Owner::Alice, false, i, ""});
+    nl.inputs.push_back(netlist::Input{netlist::Owner::Bob, false, i, ""});
+    nl.inputs.push_back(netlist::Input{netlist::Owner::Public, false, i, ""});
+  }
+  nl.inputs.push_back(netlist::Input{netlist::Owner::Bob, true, 0, ""});
+  nl.inputs.push_back(netlist::Input{netlist::Owner::Alice, true, 0, ""});
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    netlist::Dff d;
+    switch (rng.next_below(3)) {
+      case 0: d.init = netlist::Dff::Init::Zero; break;
+      case 1:
+        d.init = netlist::Dff::Init::AliceBit;
+        d.init_index = i;
+        break;
+      default:
+        d.init = netlist::Dff::Init::BobBit;
+        d.init_index = i;
+        break;
+    }
+    nl.dffs.push_back(d);
+  }
+  const int num_gates = 25 + static_cast<int>(rng.next_below(25));
+  for (int g = 0; g < num_gates; ++g) {
+    const auto limit = static_cast<std::uint32_t>(2 + nl.inputs.size() + nl.dffs.size() +
+                                                  static_cast<std::size_t>(g));
+    nl.gates.push_back(netlist::Gate{static_cast<netlist::WireId>(rng.next_below(limit)),
+                                     static_cast<netlist::WireId>(rng.next_below(limit)),
+                                     static_cast<netlist::TruthTable>(rng.next_below(16))});
+  }
+  const auto nw = static_cast<std::uint32_t>(nl.num_wires());
+  for (auto& d : nl.dffs) {
+    d.d = static_cast<netlist::WireId>(rng.next_below(nw));
+    d.d_invert = rng.next_bool();
+  }
+  for (int o = 0; o < 5; ++o) {
+    nl.outputs.push_back(netlist::OutputPort{static_cast<netlist::WireId>(rng.next_below(nw)),
+                                             rng.next_bool(), ""});
+  }
+  nl.outputs_every_cycle = true;
+  return nl;
+}
+
+struct SocketRun {
+  core::RunResult garbler;
+  core::RunResult evaluator;
+  gc::CommStats combined_comm;  ///< garbler sent + evaluator sent
+};
+
+/// Two endpoints over a real TCP loopback connection, garbler on a worker
+/// thread — the two-process deployment, minus the fork.
+SocketRun socket_run(const netlist::Netlist& nl, const core::RunOptions& opts,
+                     const netlist::BitVec& a, const netlist::BitVec& b,
+                     const netlist::BitVec& p, const core::StreamProvider* streams,
+                     std::optional<Block> garbler_private = {},
+                     std::optional<Block> evaluator_private = {}) {
+  gc::SocketListener listener("127.0.0.1", 0);
+  const std::uint16_t port = listener.port();
+
+  SocketRun out;
+  gc::CommStats garbler_sent;
+  std::exception_ptr garbler_error;
+  std::thread garbler_thread([&] {
+    try {
+      auto sock = gc::SocketDuplex::connect("127.0.0.1", port);
+      core::PartyOptions po = core::party_options(core::Role::Garbler, opts);
+      if (garbler_private) po.private_seed = *garbler_private;
+      core::GarblerEndpoint endpoint(nl, po, sock->end());
+      out.garbler = endpoint.run(a, p, streams);
+      sock->flush();
+      garbler_sent = sock->sent();
+    } catch (...) {
+      garbler_error = std::current_exception();
+    }
+  });
+
+  auto sock = listener.accept();
+  try {
+    core::PartyOptions po = core::party_options(core::Role::Evaluator, opts);
+    if (evaluator_private) po.private_seed = *evaluator_private;
+    core::EvaluatorEndpoint endpoint(nl, po, sock->end());
+    out.evaluator = endpoint.run(b, p, streams);
+  } catch (...) {
+    sock->close();  // unblock the peer before propagating
+    garbler_thread.join();
+    throw;
+  }
+  garbler_thread.join();
+  if (garbler_error) std::rethrow_exception(garbler_error);
+
+  out.combined_comm = garbler_sent;
+  out.combined_comm += sock->sent();
+  return out;
+}
+
+void expect_matches_reference(const SocketRun& s, const core::RunResult& ref) {
+  // Garbler side reproduces the in-process run bit for bit.
+  EXPECT_EQ(s.garbler.sampled_outputs, ref.sampled_outputs);
+  EXPECT_EQ(s.garbler.final_outputs, ref.final_outputs);
+  EXPECT_EQ(s.garbler.final_cycle, ref.final_cycle);
+  EXPECT_EQ(s.garbler.stats.cycles, ref.stats.cycles);
+  EXPECT_EQ(s.garbler.stats.garbled_non_xor, ref.stats.garbled_non_xor);
+  EXPECT_EQ(s.garbler.stats.skipped_non_xor, ref.stats.skipped_non_xor);
+  EXPECT_EQ(s.garbler.stats.non_xor_slots, ref.stats.non_xor_slots);
+  EXPECT_TRUE(s.garbler.stats.table_digest == ref.stats.table_digest);
+  EXPECT_EQ(s.garbler.stats.ot_choices, ref.stats.ot_choices);
+  EXPECT_EQ(s.garbler.stats.ot_batches, ref.stats.ot_batches);
+  // Both parties agree on shape and content.
+  EXPECT_EQ(s.evaluator.final_cycle, s.garbler.final_cycle);
+  EXPECT_EQ(s.evaluator.stats.garbled_non_xor, s.garbler.stats.garbled_non_xor);
+  EXPECT_TRUE(s.evaluator.stats.table_digest == s.garbler.stats.table_digest);
+  // Every byte either party sent is accounted identically to the in-memory
+  // duplex of the same run.
+  EXPECT_EQ(s.combined_comm.garbled_table_bytes, ref.stats.comm.garbled_table_bytes);
+  EXPECT_EQ(s.combined_comm.input_label_bytes, ref.stats.comm.input_label_bytes);
+  EXPECT_EQ(s.combined_comm.ot_bytes, ref.stats.comm.ot_bytes);
+  EXPECT_EQ(s.combined_comm.output_bytes, ref.stats.comm.output_bytes);
+}
+
+TEST(PartyEndpoints, SocketMatchesInMemoryOnFuzzedNetlists) {
+  crypto::CtrRng rng(block_from_u64(4242));
+  for (int seed = 0; seed < 4; ++seed) {
+    const netlist::Netlist nl = random_party_netlist(rng);
+    const netlist::BitVec a = to_bits(rng.next_u64(), 3);
+    const netlist::BitVec b = to_bits(rng.next_u64(), 3);
+    const netlist::BitVec p = to_bits(rng.next_u64(), 3);
+    const std::uint64_t aw = rng.next_u64();
+    const std::uint64_t bw = rng.next_u64();
+    core::StreamProvider streams;
+    streams.alice = [aw](std::uint64_t c) { return netlist::BitVec{((aw >> c) & 1u) != 0}; };
+    streams.bob = [bw](std::uint64_t c) { return netlist::BitVec{((bw >> c) & 1u) != 0}; };
+
+    for (const core::Mode mode : {core::Mode::SkipGate, core::Mode::Conventional}) {
+      for (const gc::OtBackend ot : {gc::OtBackend::Ideal, gc::OtBackend::Iknp}) {
+        core::RunOptions opts;
+        opts.mode = mode;
+        opts.fixed_cycles = 6;
+        opts.exec.ot_backend = ot;
+        const core::RunResult ref = core::SkipGateDriver(nl, opts).run(a, b, p, &streams);
+        const SocketRun s = socket_run(nl, opts, a, b, p, &streams);
+        expect_matches_reference(s, ref);
+        EXPECT_EQ(s.combined_comm.total(), ref.stats.comm.total()) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(PartyEndpoints, SocketMatchesInMemoryArmHamming160) {
+  const programs::Program prog = programs::hamming(5);
+  const arm::Arm2Gc machine(prog.cfg, prog.words);
+  const std::vector<std::uint32_t> a = {0x0001F00Du, 2, 3, 4, 5};
+  const std::vector<std::uint32_t> b = {6, 7, 8, 0xFF00FF00u, 10};
+
+  core::ExecOptions exec;
+  exec.ot_backend = gc::OtBackend::Iknp;
+  const arm::Arm2GcResult ref = machine.run(a, b, 1u << 20, gc::Scheme::HalfGates, exec);
+  const arm::Arm2GcResult iss = machine.run_reference(a, b);
+  ASSERT_EQ(ref.outputs, iss.outputs);
+
+  gc::SocketListener listener("127.0.0.1", 0);
+  const std::uint16_t port = listener.port();
+  arm::Arm2GcResult gres;
+  gc::CommStats garbler_sent;
+  std::exception_ptr gerr;
+  std::thread garbler_thread([&] {
+    try {
+      auto sock = gc::SocketDuplex::connect("127.0.0.1", port);
+      gres = machine.run_garbler(
+          a, sock->end(),
+          machine.party_options(core::Role::Garbler, 1u << 20, gc::Scheme::HalfGates, exec));
+      sock->flush();
+      garbler_sent = sock->sent();
+    } catch (...) {
+      gerr = std::current_exception();
+    }
+  });
+  auto sock = listener.accept();
+  const arm::Arm2GcResult eres = machine.run_evaluator(
+      b, sock->end(),
+      machine.party_options(core::Role::Evaluator, 1u << 20, gc::Scheme::HalfGates, exec));
+  garbler_thread.join();
+  ASSERT_FALSE(gerr);
+
+  EXPECT_EQ(gres.outputs, ref.outputs);
+  EXPECT_EQ(gres.cycles, ref.cycles);
+  EXPECT_EQ(eres.cycles, ref.cycles);
+  EXPECT_EQ(gres.stats.garbled_non_xor, ref.stats.garbled_non_xor);
+  EXPECT_TRUE(gres.stats.table_digest == ref.stats.table_digest);
+  EXPECT_TRUE(eres.stats.table_digest == ref.stats.table_digest);
+  EXPECT_TRUE(eres.outputs.empty());  // Bob does not learn the result
+
+  gc::CommStats combined = garbler_sent;
+  combined += sock->sent();
+  EXPECT_EQ(combined.garbled_table_bytes, ref.stats.comm.garbled_table_bytes);
+  EXPECT_EQ(combined.input_label_bytes, ref.stats.comm.input_label_bytes);
+  EXPECT_EQ(combined.ot_bytes, ref.stats.comm.ot_bytes);
+  EXPECT_EQ(combined.output_bytes, ref.stats.comm.output_bytes);
+}
+
+TEST(PartyEndpoints, PrivatePerPartySeedsStillAgree) {
+  // Each party seeding its own randomness moves the label stream (and hence
+  // the digest *value*) but nothing observable: outputs stay correct and the
+  // two parties' digests stay equal — the deployment configuration of
+  // tools/arm2gc_party.
+  crypto::CtrRng rng(block_from_u64(5151));
+  const netlist::Netlist nl = random_party_netlist(rng);
+  const netlist::BitVec a = to_bits(rng.next_u64(), 3);
+  const netlist::BitVec b = to_bits(rng.next_u64(), 3);
+  const netlist::BitVec p = to_bits(rng.next_u64(), 3);
+  core::StreamProvider streams;
+  streams.alice = [](std::uint64_t c) { return netlist::BitVec{(c & 1) != 0}; };
+  streams.bob = [](std::uint64_t c) { return netlist::BitVec{(c & 2) != 0}; };
+
+  core::RunOptions opts;
+  opts.fixed_cycles = 6;
+  opts.exec.ot_backend = gc::OtBackend::Iknp;
+  const core::RunResult ref = core::SkipGateDriver(nl, opts).run(a, b, p, &streams);
+  const SocketRun s = socket_run(nl, opts, a, b, p, &streams,
+                                 block_from_u64(0xA11CE5EED), block_from_u64(0xB0B5EED));
+  EXPECT_EQ(s.garbler.sampled_outputs, ref.sampled_outputs);
+  EXPECT_EQ(s.garbler.stats.garbled_non_xor, ref.stats.garbled_non_xor);
+  EXPECT_TRUE(s.garbler.stats.table_digest == s.evaluator.stats.table_digest);
+  // Fresh garbler randomness => a different (but internally consistent)
+  // table stream.
+  EXPECT_FALSE(s.garbler.stats.table_digest == ref.stats.table_digest);
+  // Non-label traffic volumes are seed-independent.
+  EXPECT_EQ(s.combined_comm.total(), ref.stats.comm.total());
+}
+
+TEST(PartyEndpoints, EvaluatorDigestMatchesGarblerOverThreadedPipe) {
+  builder::CircuitBuilder cb;
+  const builder::Bus x = cb.input_bus(netlist::Owner::Alice, 8, 0);
+  const builder::Bus y = cb.input_bus(netlist::Owner::Bob, 8, 0);
+  cb.output_bus(builder::mul_lower(cb, x, y, 8));
+  const netlist::Netlist nl = cb.take();
+
+  gc::ThreadedPipeDuplex duplex(1u << 12);
+  core::RunOptions opts;
+  opts.fixed_cycles = 1;
+  core::RunResult gres;
+  std::thread garbler_thread([&] {
+    core::GarblerEndpoint endpoint(nl, core::party_options(core::Role::Garbler, opts),
+                                   duplex.garbler_end());
+    gres = endpoint.run(to_bits(13, 8));
+  });
+  core::EvaluatorEndpoint endpoint(nl, core::party_options(core::Role::Evaluator, opts),
+                                   duplex.evaluator_end());
+  const core::RunResult eres = endpoint.run(to_bits(11, 8));
+  garbler_thread.join();
+
+  EXPECT_EQ(a2gtest::from_bits(gres.final_outputs, 0, 8), (13u * 11u) & 0xFFu);
+  EXPECT_GT(gres.stats.garbled_non_xor, 0u);
+  EXPECT_TRUE(eres.stats.table_digest == gres.stats.table_digest);
+}
+
+// --- warm-state negative paths ---------------------------------------------------
+
+netlist::Netlist two_party_adder() {
+  builder::CircuitBuilder cb;
+  const builder::Bus x = cb.input_bus(netlist::Owner::Alice, 4, 0);
+  const builder::Bus y = cb.input_bus(netlist::Owner::Bob, 4, 0);
+  cb.output_bus(builder::add(cb, x, y));
+  return cb.take();
+}
+
+core::WarmState::Options iknp_warm_options() {
+  core::WarmState::Options w;
+  w.ot_backend = gc::OtBackend::Iknp;
+  return w;
+}
+
+/// One-sided OT desync (here: an explicit one-sided reset, the same state a
+/// run aborted between the receiver's request and the sender's flush leaves
+/// behind) must fail on the OT header/check block — a loud runtime_error,
+/// not a hang and never a mis-delivered label — on both in-process
+/// transports. Endpoint abort then resets *both* sides, so the run after
+/// the failure recovers with a fresh base phase.
+TEST(PartyWarmState, OneSidedOtDesyncFailsLoudThenRecovers) {
+  const netlist::Netlist nl = two_party_adder();
+  for (const core::TransportKind tk :
+       {core::TransportKind::InMemory, core::TransportKind::ThreadedPipe}) {
+    core::WarmState gwarm(core::Role::Garbler, iknp_warm_options());
+    core::WarmState ewarm(core::Role::Evaluator, iknp_warm_options());
+    core::RunOptions opts;
+    opts.fixed_cycles = 1;
+    opts.exec.transport = tk;
+    opts.exec.ot_backend = gc::OtBackend::Iknp;
+    opts.exec.garbler_warm = &gwarm;
+    opts.exec.evaluator_warm = &ewarm;
+
+    const core::RunResult warmup =
+        core::SkipGateDriver(nl, opts).run(to_bits(3, 4), to_bits(5, 4));
+    EXPECT_EQ(a2gtest::from_bits(warmup.final_outputs, 0, 4), 8u);
+    EXPECT_EQ(warmup.stats.ot_base_ots, gc::kOtKappa);
+
+    // Desync: only the garbler's extension state drops back to the base
+    // phase; the evaluator's still rides the old streams.
+    gwarm.reset_ot();
+    try {
+      (void)core::SkipGateDriver(nl, opts).run(to_bits(1, 4), to_bits(2, 4));
+      FAIL() << "desynced warm OT state must not produce a result";
+    } catch (const gc::TransportClosed&) {
+      FAIL() << "desync surfaced as a transport teardown, not the OT check";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("otext"), std::string::npos) << e.what();
+    }
+
+    // The failed run's endpoint abort reset both warm states: the next run
+    // re-bases (base OTs run again) and succeeds — recovery without
+    // rebuilding caches or session.
+    const core::RunResult recovered =
+        core::SkipGateDriver(nl, opts).run(to_bits(6, 4), to_bits(7, 4));
+    EXPECT_EQ(a2gtest::from_bits(recovered.final_outputs, 0, 4), 13u);
+    EXPECT_EQ(recovered.stats.ot_base_ots, gc::kOtKappa);
+  }
+}
+
+/// A run that throws mid-protocol *between* the evaluator's OT request and
+/// the garbler's matching flush leaves the two extension streams desynced;
+/// the endpoints' abort path resets both, so the next run over the same
+/// warm pair recovers (and provably re-bases).
+TEST(PartyWarmState, AbortBetweenRequestAndFlushRecovers) {
+  const netlist::Netlist nl = two_party_adder();
+  core::WarmState gwarm(core::Role::Garbler, iknp_warm_options());
+  core::WarmState ewarm(core::Role::Evaluator, iknp_warm_options());
+  core::RunOptions opts;
+  opts.fixed_cycles = 1;
+  opts.exec.ot_backend = gc::OtBackend::Iknp;
+  opts.exec.garbler_warm = &gwarm;
+  opts.exec.evaluator_warm = &ewarm;
+
+  const core::RunResult first =
+      core::SkipGateDriver(nl, opts).run(to_bits(2, 4), to_bits(3, 4));
+  EXPECT_EQ(first.stats.ot_base_ots, gc::kOtKappa);
+
+  // Alice's bits come up short: the garbler throws inside reset(), after
+  // the evaluator's ot_reset request already advanced the receiver streams.
+  EXPECT_THROW(
+      (void)core::SkipGateDriver(nl, opts).run(to_bits(1, 2), to_bits(3, 4)),
+      std::out_of_range);
+
+  const core::RunResult recovered =
+      core::SkipGateDriver(nl, opts).run(to_bits(9, 4), to_bits(4, 4));
+  EXPECT_EQ(a2gtest::from_bits(recovered.final_outputs, 0, 4), 13u);
+  EXPECT_EQ(recovered.stats.ot_base_ots, gc::kOtKappa);  // fresh base: reset worked
+}
+
+/// Session-level recovery: an ARM run that throws mid-protocol
+/// (max_cycles exhausted) aborts both endpoints; the session's next run
+/// re-bases and computes correctly — no session rebuild.
+TEST(PartyWarmState, ArmSessionRecoversAfterMidProtocolThrow) {
+  const auto prog = arm::assemble(
+      "ldr r4, [r0]\n"
+      "ldr r5, [r1]\n"
+      "add r4, r4, r5\n"
+      "str r4, [r2]\n"
+      "swi 0\n");
+  arm::MemoryConfig cfg;
+  cfg.imem_words = 16;
+  cfg.alice_words = cfg.bob_words = cfg.out_words = 1;
+  cfg.ram_words = 16;
+  const arm::Arm2Gc machine(cfg, prog);
+
+  core::ExecOptions exec;
+  exec.ot_backend = gc::OtBackend::Iknp;
+  arm::Arm2Gc::Session session(machine, exec);
+
+  const arm::Arm2GcResult ok = session.run(std::vector<std::uint32_t>{40},
+                                           std::vector<std::uint32_t>{2});
+  EXPECT_EQ(ok.outputs[0], 42u);
+  EXPECT_EQ(ok.stats.ot_base_ots, gc::kOtKappa);
+
+  EXPECT_THROW((void)session.run(std::vector<std::uint32_t>{1},
+                                 std::vector<std::uint32_t>{2}, /*max_cycles=*/2),
+               std::runtime_error);
+
+  const arm::Arm2GcResult recovered = session.run(std::vector<std::uint32_t>{30},
+                                                  std::vector<std::uint32_t>{12});
+  EXPECT_EQ(recovered.outputs[0], 42u);
+  EXPECT_EQ(recovered.stats.ot_base_ots, gc::kOtKappa);  // re-based after abort
+  EXPECT_EQ(recovered.cycles, ok.cycles);
+}
+
+}  // namespace

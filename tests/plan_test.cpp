@@ -243,11 +243,12 @@ TEST(PlanCache, SharedCacheWarmAcrossRuns) {
   crypto::CtrRng rng(crypto::block_from_u64(99991));
   const netlist::Netlist nl = random_seq_netlist(rng);
   const netlist::BitVec p = to_bits(rng.next_u64(), 4);
-  core::PlanCache cache;  // first-sight admission: built for reuse
+  // Role-scoped warm state (first-sight cache admission: built for reuse).
+  core::WarmState warm(core::Role::Garbler);
 
   core::RunOptions opts;
   opts.fixed_cycles = 8;
-  opts.exec.garbler_plan_cache = &cache;
+  opts.exec.garbler_warm = &warm;
 
   netlist::BitVec first_outputs;
   for (int run = 0; run < 3; ++run) {
@@ -256,7 +257,7 @@ TEST(PlanCache, SharedCacheWarmAcrossRuns) {
     const core::RunResult r = core::SkipGateDriver(nl, opts).run(a, b, p);
 
     core::RunOptions fresh = opts;
-    fresh.exec.garbler_plan_cache = nullptr;
+    fresh.exec.garbler_warm = nullptr;
     fresh.exec.plan_cache = false;
     const core::RunResult expect = core::SkipGateDriver(nl, fresh).run(a, b, p);
     EXPECT_EQ(r.sampled_outputs, expect.sampled_outputs);
@@ -266,7 +267,7 @@ TEST(PlanCache, SharedCacheWarmAcrossRuns) {
       EXPECT_EQ(r.stats.plan_cache_hits, 8u);
     }
   }
-  EXPECT_GT(cache.entries(), 0u);
+  EXPECT_GT(warm.plan_cache().entries(), 0u);
 }
 
 TEST(PlanCache, ArmSessionWarmsAcrossExecutions) {
@@ -331,13 +332,14 @@ TEST(PlanCache, WarmSessionCorrectUnderAdversarialEvictionBudgets) {
   const arm::Arm2GcResult ref =
       machine.run(std::vector<std::uint32_t>{100}, std::vector<std::uint32_t>{0});
 
-  core::PlanCache gcache(1), ecache(1);  // capacity floor: 4 entries each
-  core::ConeMemo gcones(1), econes(1);   // capacity floor: 8 entries each
+  core::WarmState::Options tiny;
+  tiny.plan_cache_budget_bytes = 1;  // capacity floor: 4 entries
+  tiny.cone_memo_budget_bytes = 1;   // capacity floor: 8 entries
+  core::WarmState gwarm(core::Role::Garbler, tiny);
+  core::WarmState ewarm(core::Role::Evaluator, tiny);
   core::ExecOptions exec;
-  exec.garbler_plan_cache = &gcache;
-  exec.evaluator_plan_cache = &ecache;
-  exec.garbler_cone_memo = &gcones;
-  exec.evaluator_cone_memo = &econes;
+  exec.garbler_warm = &gwarm;
+  exec.evaluator_warm = &ewarm;
   arm::Arm2Gc::Session session(machine, exec);
 
   std::vector<double> hit_ratios;
@@ -355,8 +357,8 @@ TEST(PlanCache, WarmSessionCorrectUnderAdversarialEvictionBudgets) {
     EXPECT_LT(hr, 1.0) << "run " << i;
     EXPECT_LE(r.stats.cone_hit_ratio(), 1.0);
     hit_ratios.push_back(hr);
-    EXPECT_LE(gcache.entries(), gcache.capacity());
-    EXPECT_LE(gcones.entries(), gcones.capacity());
+    EXPECT_LE(gwarm.plan_cache().entries(), gwarm.plan_cache().capacity());
+    EXPECT_LE(gwarm.cone_memo().entries(), gwarm.cone_memo().capacity());
   }
   // Monotone-sane trajectory: warm runs never do worse than the cold first
   // run, and the deterministic churn reaches a steady state (the repeating
@@ -366,10 +368,10 @@ TEST(PlanCache, WarmSessionCorrectUnderAdversarialEvictionBudgets) {
   }
   EXPECT_DOUBLE_EQ(hit_ratios[2], hit_ratios[1]);
   EXPECT_DOUBLE_EQ(hit_ratios[3], hit_ratios[2]);
-  EXPECT_EQ(gcache.capacity(), 4u);
-  EXPECT_EQ(gcones.capacity(), 8u);
-  EXPECT_GT(gcache.evictions(), 0u);
-  EXPECT_GT(gcones.evictions(), 0u);
+  EXPECT_EQ(gwarm.plan_cache().capacity(), 4u);
+  EXPECT_EQ(gwarm.cone_memo().capacity(), 8u);
+  EXPECT_GT(gwarm.plan_cache().evictions(), 0u);
+  EXPECT_GT(gwarm.cone_memo().evictions(), 0u);
 }
 
 TEST(PlanCache, XorRelationAmongRootsDoesNotAliasStates) {
@@ -546,15 +548,27 @@ TEST(ConeMemo, RejectsReuseAcrossNetlistsAndLayouts) {
   EXPECT_THROW(Planner p3(nl1, finer), std::invalid_argument);
 }
 
-TEST(ConeMemo, ThreadedTransportRequiresDistinctMemos) {
+TEST(ConeMemo, WarmStateIsRoleScoped) {
   const netlist::Netlist nl = selector_netlist(3);
-  core::ConeMemo memo;
-  core::RunOptions opts;
-  opts.fixed_cycles = 1;
-  opts.exec.transport = core::TransportKind::ThreadedPipe;
-  opts.exec.garbler_cone_memo = &memo;
-  opts.exec.evaluator_cone_memo = &memo;
-  EXPECT_THROW(core::SkipGateDriver(nl, opts).run({false}, {false}), std::invalid_argument);
+  core::WarmState gwarm(core::Role::Garbler);
+
+  // One WarmState cannot serve both parties: the threaded driver would race
+  // on it and the lock-step driver would alias the per-party caches.
+  core::RunOptions shared;
+  shared.fixed_cycles = 1;
+  shared.exec.transport = core::TransportKind::ThreadedPipe;
+  shared.exec.garbler_warm = &gwarm;
+  shared.exec.evaluator_warm = &gwarm;
+  EXPECT_THROW(core::SkipGateDriver(nl, shared).run({false}, {false}), std::invalid_argument);
+
+  // A wrong-role WarmState is rejected by the endpoint on every transport.
+  core::RunOptions swapped;
+  swapped.fixed_cycles = 1;
+  swapped.exec.evaluator_warm = &gwarm;  // garbler-role state, evaluator slot
+  EXPECT_THROW(core::SkipGateDriver(nl, swapped).run({false}, {false}), std::invalid_argument);
+  core::RunOptions piped = swapped;
+  piped.exec.transport = core::TransportKind::ThreadedPipe;
+  EXPECT_THROW(core::SkipGateDriver(nl, piped).run({false}, {false}), std::invalid_argument);
 }
 
 /// Differential fuzz (both party sides): randomized sequential netlists
