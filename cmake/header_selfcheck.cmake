@@ -1,0 +1,54 @@
+# Header self-sufficiency check: every header under src/ must compile as the
+# first include of an otherwise empty TU, under the project's warning set.
+# A header that leans on what its includer happened to pull in breaks the
+# layering story (and the linter's include-graph reasoning), so this runs as
+# a regular ctest.
+#
+# Invoked by CMake as:
+#   cmake -DSOURCE_DIR=<repo> -DCXX=<compiler> -DWORK_DIR=<scratch>
+#         [-DX86=ON] -P cmake/header_selfcheck.cmake
+#
+# Headers are compiled directly (not with -x c++ on the .h, which would trip
+# gcc's unsuppressable "#pragma once in main file" warning); each gets a tiny
+# generated wrapper .cpp in WORK_DIR.
+
+if(NOT SOURCE_DIR OR NOT CXX OR NOT WORK_DIR)
+  message(FATAL_ERROR "header_selfcheck: need -DSOURCE_DIR, -DCXX and -DWORK_DIR")
+endif()
+
+file(GLOB_RECURSE headers RELATIVE "${SOURCE_DIR}" "${SOURCE_DIR}/src/*.h")
+list(SORT headers)
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(failed "")
+set(checked 0)
+foreach(header IN LISTS headers)
+  string(REPLACE "/" "_" stem "${header}")
+  set(wrapper "${WORK_DIR}/${stem}.cpp")
+  file(WRITE "${wrapper}" "#include \"${header}\"\n")
+
+  set(flags -std=c++20 -fsyntax-only -Wall -Wextra -Werror "-I${SOURCE_DIR}/src" "-I${SOURCE_DIR}")
+  if(header STREQUAL "src/crypto/aesni_impl.h")
+    if(NOT X86)
+      continue()  # AES-NI intrinsics header is x86-only by contract.
+    endif()
+    list(APPEND flags -maes -msse2)
+  endif()
+
+  execute_process(
+    COMMAND "${CXX}" ${flags} "${wrapper}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  math(EXPR checked "${checked}+1")
+  if(NOT rc EQUAL 0)
+    message(STATUS "not self-sufficient: ${header}\n${err}")
+    list(APPEND failed "${header}")
+  endif()
+endforeach()
+
+if(failed)
+  list(LENGTH failed n)
+  message(FATAL_ERROR "${n} header(s) are not self-sufficient: ${failed}")
+endif()
+message(STATUS "header_selfcheck: ${checked} headers self-sufficient")

@@ -1,0 +1,55 @@
+# Runs clang-tidy (config: .clang-tidy at the repo root, WarningsAsErrors)
+# over every first-party TU in the exported compilation database. Invoked by
+# the `lint_tidy` target as:
+#   cmake -DCLANG_TIDY=<exe> -DBUILD_DIR=<build> -DSOURCE_DIR=<repo>
+#         -P cmake/run_clang_tidy.cmake
+
+if(NOT CLANG_TIDY OR NOT BUILD_DIR OR NOT SOURCE_DIR)
+  message(FATAL_ERROR "run_clang_tidy: need -DCLANG_TIDY, -DBUILD_DIR and -DSOURCE_DIR")
+endif()
+if(NOT EXISTS "${BUILD_DIR}/compile_commands.json")
+  message(FATAL_ERROR "run_clang_tidy: no compile_commands.json in ${BUILD_DIR} "
+                      "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+endif()
+
+file(READ "${BUILD_DIR}/compile_commands.json" db)
+string(JSON count LENGTH "${db}")
+set(tus "")
+if(count GREATER 0)
+  math(EXPR last "${count}-1")
+  foreach(i RANGE ${last})
+    string(JSON f GET "${db}" ${i} file)
+    # Library + tool code only: fetched deps and test/bench harnesses (which
+    # drag in third-party gtest/benchmark headers) stay out of scope.
+    foreach(dir src tools)
+      string(FIND "${f}" "${SOURCE_DIR}/${dir}/" at)
+      if(at EQUAL 0)
+        list(APPEND tus "${f}")
+        break()
+      endif()
+    endforeach()
+  endforeach()
+endif()
+list(REMOVE_DUPLICATES tus)
+list(SORT tus)
+
+list(LENGTH tus n)
+message(STATUS "clang-tidy: ${n} translation units")
+set(failed "")
+foreach(tu IN LISTS tus)
+  execute_process(
+    COMMAND "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "${tu}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(STATUS "clang-tidy FAILED: ${tu}\n${out}")
+    list(APPEND failed "${tu}")
+  endif()
+endforeach()
+
+if(failed)
+  list(LENGTH failed n)
+  message(FATAL_ERROR "clang-tidy: findings in ${n} TU(s)")
+endif()
+message(STATUS "clang-tidy: all ${n} TUs clean")

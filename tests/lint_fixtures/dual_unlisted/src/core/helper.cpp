@@ -1,0 +1,7 @@
+// Fixture: names both roles' secrets without being dual-listed.
+#include "core/plan.h"
+namespace fix::core {
+class GarblerSession;
+class EvaluatorSession;
+int helper() { return 1; }
+}  // namespace fix::core

@@ -1,0 +1,13 @@
+// Fixture: secret-randomness generator (forbidden to the planner).
+#pragma once
+#include "crypto/block.h"
+#include "gc/transport.h"  // VIOLATION: crypto may not depend on gc
+namespace fix::crypto {
+class CtrRng {
+ public:
+  explicit CtrRng(Block seed) : state_(seed) {}
+  Block next() { return state_; }
+ private:
+  Block state_;
+};
+}  // namespace fix::crypto

@@ -1,0 +1,10 @@
+// Fixture: the pure-public planner surface.
+#pragma once
+#include "core/state.h"
+#include "crypto/block.h"
+namespace fix::core {
+struct CyclePlan {
+  unsigned emitted = 0;
+};
+CyclePlan classify(crypto::Block seed);
+}  // namespace fix::core

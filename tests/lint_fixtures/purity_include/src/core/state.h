@@ -1,0 +1,6 @@
+// Fixture: intermediate header smuggling secret randomness to the planner.
+#pragma once
+#include "crypto/rng.h"
+namespace fix::core {
+using Rng = crypto::CtrRng;
+}  // namespace fix::core

@@ -1,0 +1,10 @@
+#include "core/plan.h"
+namespace fix::core {
+CyclePlan classify(crypto::Block seed) {
+  CyclePlan p;
+  crypto::CtrRng* rng = nullptr;  // VIOLATION: secret randomness in the planner
+  (void)rng;
+  p.emitted = static_cast<unsigned>(seed.lo & 3u);
+  return p;
+}
+}  // namespace fix::core

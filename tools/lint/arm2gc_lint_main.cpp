@@ -1,0 +1,88 @@
+// CLI for the in-tree secrecy/layering linter (tools/lint/lint.h). Exit 0 on
+// a clean tree, 1 with one "file:line: [rule] message" per finding, 2 on
+// usage/config errors.
+//
+//   arm2gc_lint --root <repo> [--rules <toml>] [--compile-commands <json>]
+//               [file...]
+//
+// With no explicit file list the configured scan dirs are swept. When a
+// compile_commands.json is given, its TU list is additionally checked to be
+// covered by the sweep — a source file the build compiles but the linter
+// would not see is itself a finding.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: arm2gc_lint --root <repo-root> [--rules <rules.toml>]\n"
+               "                   [--compile-commands <compile_commands.json>] [file...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string rules_path;
+  std::string ccmds;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (a == "--rules" && i + 1 < argc) {
+      rules_path = argv[++i];
+    } else if (a == "--compile-commands" && i + 1 < argc) {
+      ccmds = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      return usage();
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "arm2gc_lint: unknown option " << a << "\n";
+      return usage();
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (root.empty()) return usage();
+  if (rules_path.empty()) rules_path = root + "/tools/lint_rules.toml";
+
+  try {
+    const arm2gc::lint::Rules rules = arm2gc::lint::load_rules(rules_path);
+    std::vector<std::string> targets =
+        files.empty() ? arm2gc::lint::collect_sources(root, rules) : files;
+
+    std::vector<arm2gc::lint::Finding> findings;
+    if (!ccmds.empty()) {
+      for (const std::string& tu :
+           arm2gc::lint::tus_from_compile_commands(ccmds, root, rules)) {
+        if (std::find(targets.begin(), targets.end(), tu) == targets.end()) {
+          findings.push_back({tu, 0, "config",
+                              "compiled translation unit is not covered by the lint sweep "
+                              "(check [scan] dirs/exclude)"});
+        }
+      }
+    }
+    for (const arm2gc::lint::Finding& f : arm2gc::lint::run_lint(root, rules, targets)) {
+      findings.push_back(f);
+    }
+
+    for (const arm2gc::lint::Finding& f : findings) {
+      std::cout << arm2gc::lint::format_finding(f) << "\n";
+    }
+    if (findings.empty()) {
+      std::cout << "arm2gc_lint: " << targets.size() << " files clean\n";
+      return 0;
+    }
+    std::cout << "arm2gc_lint: " << findings.size() << " finding(s) in " << targets.size()
+              << " files\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "arm2gc_lint: " << e.what() << "\n";
+    return 2;
+  }
+}

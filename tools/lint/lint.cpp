@@ -1,0 +1,704 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace arm2gc::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// First path component of a repo-relative path ("src/core/plan.h" -> "src").
+[[nodiscard]] std::string path_head(const std::string& p) {
+  const std::size_t slash = p.find('/');
+  return slash == std::string::npos ? p : p.substr(0, slash);
+}
+
+/// Second path component ("src/core/plan.h" -> "core"; "" when absent).
+[[nodiscard]] std::string path_second(const std::string& p) {
+  const std::size_t a = p.find('/');
+  if (a == std::string::npos) return {};
+  const std::size_t b = p.find('/', a + 1);
+  return b == std::string::npos ? p.substr(a + 1) : p.substr(a + 1, b - a - 1);
+}
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("lint: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+[[nodiscard]] bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+// ---------------------------------------------------------------------------
+// Rules parsing (TOML subset)
+// ---------------------------------------------------------------------------
+
+/// Strips a trailing "# comment" that is not inside quotes, then whitespace.
+[[nodiscard]] std::string strip_line(const std::string& raw) {
+  std::string s;
+  bool quoted = false;
+  for (char c : raw) {
+    if (c == '"') quoted = !quoted;
+    if (c == '#' && !quoted) break;
+    s.push_back(c);
+  }
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+[[nodiscard]] std::vector<std::string> parse_string_array(const std::string& body,
+                                                          std::size_t line_no) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    while (i < body.size() && (body[i] == ' ' || body[i] == '\t' || body[i] == ',' ||
+                               body[i] == '\n' || body[i] == '\r')) {
+      ++i;
+    }
+    if (i >= body.size()) break;
+    if (body[i] != '"') {
+      throw std::runtime_error("lint rules line " + std::to_string(line_no) +
+                               ": expected quoted string in array");
+    }
+    const std::size_t end = body.find('"', i + 1);
+    if (end == std::string::npos) {
+      throw std::runtime_error("lint rules line " + std::to_string(line_no) +
+                               ": unterminated string");
+    }
+    out.push_back(body.substr(i + 1, end - i - 1));
+    i = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Rules parse_rules(const std::string& text) {
+  Rules r;
+  std::istringstream in(text);
+  std::string raw;
+  std::string section;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = strip_line(raw);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw std::runtime_error("lint rules line " + std::to_string(line_no) +
+                                 ": malformed section header");
+      }
+      section = line.substr(1, line.size() - 2);
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("lint rules line " + std::to_string(line_no) +
+                               ": expected key = value");
+    }
+    std::string key = line.substr(0, eq);
+    while (!key.empty() && (key.back() == ' ' || key.back() == '\t')) key.pop_back();
+    std::string value = line.substr(eq + 1);
+    // Multi-line arrays: accumulate until the brackets balance.
+    if (value.find('[') != std::string::npos) {
+      while (std::count(value.begin(), value.end(), '[') >
+             std::count(value.begin(), value.end(), ']')) {
+        if (!std::getline(in, raw)) {
+          throw std::runtime_error("lint rules line " + std::to_string(line_no) +
+                                   ": unterminated array");
+        }
+        ++line_no;
+        value += '\n';
+        value += strip_line(raw);
+      }
+    }
+    std::vector<std::string> arr;
+    {
+      const std::size_t open = value.find('[');
+      if (open != std::string::npos) {
+        const std::size_t close = value.rfind(']');
+        arr = parse_string_array(value.substr(open + 1, close - open - 1), line_no);
+      } else {
+        const std::size_t q0 = value.find('"');
+        const std::size_t q1 = value.rfind('"');
+        if (q0 == std::string::npos || q1 <= q0) {
+          throw std::runtime_error("lint rules line " + std::to_string(line_no) +
+                                   ": expected string or array value");
+        }
+        arr.push_back(value.substr(q0 + 1, q1 - q0 - 1));
+      }
+    }
+
+    if (section == "scan") {
+      if (key == "dirs") r.scan_dirs = arr;
+      else if (key == "exclude") r.scan_exclude = arr;
+    } else if (section == "layers") {
+      if (key == "unrestricted") r.unrestricted_dirs = arr;
+      else r.layers[key] = arr;
+    } else if (section == "roles") {
+      if (key == "garbler_files") r.garbler_files = arr;
+      else if (key == "evaluator_files") r.evaluator_files = arr;
+      else if (key == "garbler_symbols") r.garbler_symbols = arr;
+      else if (key == "evaluator_symbols") r.evaluator_symbols = arr;
+      else if (key == "dual_files") r.dual_files = arr;
+      else if (key == "scope_dirs") r.role_scope_dirs = arr;
+    } else if (section == "purity") {
+      if (key == "files") r.purity_files = arr;
+      else if (key == "forbidden_includes") r.purity_forbidden_includes = arr;
+      else if (key == "forbidden_symbols") r.purity_forbidden_symbols = arr;
+    } else if (section == "transport") {
+      if (key == "send_tokens") r.transport_send_tokens = arr;
+      else if (key == "secret_tokens") r.transport_secret_tokens = arr;
+      else if (key == "allow") r.transport_allow = arr;
+      else if (key == "scope_dirs") r.transport_scope_dirs = arr;
+    } else if (section == "banned") {
+      if (key == "symbols") r.banned_symbols = arr;
+      else if (key == "scope_dirs") r.banned_scope_dirs = arr;
+    }
+    // Unknown sections/keys are ignored so the format can grow.
+  }
+  if (r.scan_dirs.empty()) throw std::runtime_error("lint rules: [scan] dirs is required");
+  return r;
+}
+
+Rules load_rules(const std::string& path) { return parse_rules(read_file(path)); }
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+  bool ident = false;
+};
+
+struct Include {
+  std::string path;  ///< the quoted project-relative include target
+  std::size_t line = 0;
+};
+
+/// One scanned source file: identifier/punctuation tokens with comments,
+/// strings and preprocessor include lines stripped out, plus the project
+/// ("" -quoted) include list.
+struct Scan {
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+};
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Scan scan_source(const std::string& text) {
+  Scan s;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = text.size();
+  bool line_start = true;  ///< only whitespace so far on this line (for '#')
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Preprocessor directives: capture #include "..."; other directives are
+    // tokenized normally (their identifiers are real references).
+    if (c == '#' && line_start) {
+      std::size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      if (text.compare(j, 7, "include") == 0) {
+        j += 7;
+        while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+        if (j < n && text[j] == '"') {
+          const std::size_t end = text.find('"', j + 1);
+          if (end != std::string::npos) {
+            s.includes.push_back({text.substr(j + 1, end - j - 1), line});
+          }
+        }
+        while (i < n && text[i] != '\n') ++i;  // <...> includes also skipped here
+        continue;
+      }
+      line_start = false;
+      ++i;
+      continue;
+    }
+    line_start = false;
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim.push_back(text[j++]);
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = text.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < std::min(n, end + close.size()); ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      i = std::min(n, end + close.size());
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char q = c;
+      ++i;
+      while (i < n && text[i] != q) {
+        if (text[i] == '\\') ++i;
+        if (i < n && text[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      s.tokens.push_back({text.substr(i, j - i), line, true});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' || text[j] == '\'')) ++j;
+      i = j;  // numeric literals carry no references
+      continue;
+    }
+    // Multi-char punctuation we care about: "::" and "->".
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      s.tokens.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      s.tokens.push_back({"->", line, false});
+      i += 2;
+      continue;
+    }
+    s.tokens.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Enclosing-function tracking (for the transport allowlist)
+// ---------------------------------------------------------------------------
+
+/// Walks a token stream once, reporting for every token index the qualified
+/// name of the enclosing function ("Class::method" for definitions inside a
+/// class body, the spelled "A::B::f" for out-of-class definitions, "" at
+/// file scope). Heuristic but exact for this codebase's clang-format style.
+class ScopeTracker {
+ public:
+  explicit ScopeTracker(const std::vector<Token>& toks) : toks_(toks) {}
+
+  /// Advances to token index `i` (monotonically) and returns the qualified
+  /// enclosing function name at that point.
+  [[nodiscard]] std::string at(std::size_t i) {
+    while (pos_ <= i && pos_ < toks_.size()) step();
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Kind::Func) return it->name;
+    }
+    return {};
+  }
+
+ private:
+  enum class Kind { Block, Class, Func, Namespace };
+  struct Scope {
+    Kind kind;
+    std::string name;
+  };
+
+  void step() {
+    const Token& t = toks_[pos_];
+    if (t.text == "(") {
+      if (paren_ == 0 && candidate_.empty()) {
+        // Candidate function name: the identifier chain just before the
+        // FIRST '(' since the last statement/scope boundary — a constructor
+        // initializer list's member parens must not overwrite it.
+        candidate_ = name_chain_before(pos_);
+      }
+      ++paren_;
+    } else if (t.text == ")") {
+      if (paren_ > 0) --paren_;
+    } else if (t.text == "{" && paren_ == 0) {
+      stack_.push_back(classify_open());
+      candidate_.clear();
+    } else if (t.text == "}" && paren_ == 0) {
+      if (!stack_.empty()) stack_.pop_back();
+      candidate_.clear();
+    } else if (t.text == ";" && paren_ == 0) {
+      candidate_.clear();  // declaration, not a definition
+    }
+    ++pos_;
+  }
+
+  /// Collects "A::B::name" ending at tokens just before index `open_paren`.
+  [[nodiscard]] std::string name_chain_before(std::size_t open_paren) const {
+    static const std::unordered_set<std::string> kNotNames = {
+        "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+        "throw", "new", "delete", "static_assert", "decltype", "noexcept", "defined"};
+    if (open_paren == 0) return {};
+    std::size_t j = open_paren;  // exclusive end
+    std::string chain;
+    while (j >= 1) {
+      const Token& id = toks_[j - 1];
+      if (!id.ident) break;
+      if (kNotNames.count(id.text)) return {};
+      chain = chain.empty() ? id.text : id.text + "::" + chain;
+      if (j >= 3 && toks_[j - 2].text == "::" && toks_[j - 3].ident) {
+        j -= 2;
+      } else {
+        break;
+      }
+    }
+    return chain;
+  }
+
+  /// Classifies the '{' at pos_ from lookback context.
+  [[nodiscard]] Scope classify_open() {
+    // namespace? class/struct/enum/union? Walk back to the last ; { or }.
+    std::size_t j = pos_;
+    std::size_t stop = 0;
+    while (j > 0) {
+      const std::string& x = toks_[j - 1].text;
+      if (x == ";" || x == "{" || x == "}") {
+        stop = j;
+        break;
+      }
+      --j;
+    }
+    std::string head_kw;
+    std::string head_name;
+    bool saw_paren = false;
+    bool saw_eq = false;
+    for (std::size_t k = stop; k < pos_; ++k) {
+      const Token& tk = toks_[k];
+      if (tk.text == "namespace" || tk.text == "class" || tk.text == "struct" ||
+          tk.text == "union" || tk.text == "enum") {
+        if (head_kw.empty()) {
+          head_kw = tk.text;
+          if (k + 1 < pos_ && toks_[k + 1].ident) head_name = toks_[k + 1].text;
+        }
+      } else if (tk.text == "(") {
+        saw_paren = true;
+      } else if (tk.text == "=") {
+        saw_eq = true;  // initializer list / lambda assignment
+      }
+    }
+    if (head_kw == "namespace") return {Kind::Namespace, head_name};
+    if (!head_kw.empty() && !saw_paren) return {Kind::Class, head_name};
+    if (saw_paren && !candidate_.empty() && !saw_eq) {
+      std::string name = candidate_;
+      candidate_.clear();
+      if (name.find("::") == std::string::npos) {
+        // In-class definition: qualify with the innermost class scope.
+        for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+          if (it->kind == Kind::Class && !it->name.empty()) {
+            name = it->name + "::" + name;
+            break;
+          }
+          if (it->kind == Kind::Func || it->kind == Kind::Namespace) break;
+        }
+      }
+      return {Kind::Func, name};
+    }
+    return {Kind::Block, {}};
+  }
+
+  const std::vector<Token>& toks_;
+  std::vector<Scope> stack_;
+  std::size_t pos_ = 0;
+  std::size_t paren_ = 0;
+  std::string candidate_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// File discovery
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> collect_sources(const std::string& root, const Rules& rules) {
+  std::vector<std::string> out;
+  for (const std::string& dir : rules.scan_dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp" && ext != ".hpp" && ext != ".cc") continue;
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      bool excluded = false;
+      for (const std::string& ex : rules.scan_exclude) {
+        if (starts_with(rel, ex)) {
+          excluded = true;
+          break;
+        }
+      }
+      if (!excluded) out.push_back(std::move(rel));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> tus_from_compile_commands(const std::string& json_path,
+                                                   const std::string& root,
+                                                   const Rules& rules) {
+  // The exported database is machine-written with one "file": "<abs path>"
+  // per entry; a full JSON parser would be dead weight for that.
+  const std::string text = read_file(json_path);
+  std::vector<std::string> out;
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    const std::size_t q0 = text.find('"', pos);
+    if (q0 == std::string::npos) break;
+    const std::size_t q1 = text.find('"', q0 + 1);
+    if (q1 == std::string::npos) break;
+    const std::string abs = text.substr(q0 + 1, q1 - q0 - 1);
+    pos = q1 + 1;
+    std::error_code ec;
+    std::string rel = fs::relative(abs, root, ec).generic_string();
+    if (ec || rel.empty() || starts_with(rel, "..")) continue;
+    if (contains(rules.scan_dirs, path_head(rel))) out.push_back(std::move(rel));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void check_layers(const std::string& file, const Scan& scan, const Rules& rules,
+                  std::vector<Finding>& out) {
+  const std::string head = path_head(file);
+  if (contains(rules.unrestricted_dirs, head)) return;
+  if (head != "src") return;
+  const std::string layer = path_second(file);
+  const auto it = rules.layers.find(layer);
+  if (it == rules.layers.end()) {
+    out.push_back({file, 1, "layer",
+                   "directory src/" + layer + " has no declared layer in [layers]"});
+    return;
+  }
+  for (const Include& inc : scan.includes) {
+    const std::string dep = path_head(inc.path);
+    if (!contains(it->second, dep)) {
+      out.push_back({file, inc.line, "layer",
+                     "layer src/" + layer + " may not include \"" + inc.path +
+                         "\" (allowed: " + [&] {
+                           std::string s;
+                           for (const auto& a : it->second) s += (s.empty() ? "" : ", ") + a;
+                           return s;
+                         }() + ")"});
+    }
+  }
+}
+
+void check_symbols(const std::string& file, const Scan& scan,
+                   const std::vector<std::string>& symbols, const std::string& rule,
+                   const std::string& why, std::vector<Finding>& out) {
+  const std::unordered_set<std::string> set(symbols.begin(), symbols.end());
+  for (const Token& t : scan.tokens) {
+    if (t.ident && set.count(t.text)) {
+      out.push_back({file, t.line, rule, "reference to `" + t.text + "` " + why});
+    }
+  }
+}
+
+[[nodiscard]] bool references_any(const Scan& scan, const std::vector<std::string>& symbols,
+                                  std::size_t* line) {
+  const std::unordered_set<std::string> set(symbols.begin(), symbols.end());
+  for (const Token& t : scan.tokens) {
+    if (t.ident && set.count(t.text)) {
+      *line = t.line;
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_transport(const std::string& file, const Scan& scan, const Rules& rules,
+                     std::set<std::string>* used_allow, std::vector<Finding>& out) {
+  if (!contains(rules.transport_scope_dirs, path_head(file))) return;
+  const std::unordered_set<std::string> sends(rules.transport_send_tokens.begin(),
+                                              rules.transport_send_tokens.end());
+  const std::unordered_set<std::string> secrets(rules.transport_secret_tokens.begin(),
+                                                rules.transport_secret_tokens.end());
+  ScopeTracker scopes(scan.tokens);
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].ident || !sends.count(toks[i].text) || toks[i + 1].text != "(") continue;
+    // A call, not a definition: require a member access just before.
+    if (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->")) continue;
+    // Scan the argument list for raw-secret identifiers.
+    std::size_t depth = 0;
+    std::string secret_hit;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      else if (toks[j].text == ")" && --depth == 0) break;
+      else if (toks[j].ident && secrets.count(toks[j].text) && secret_hit.empty())
+        secret_hit = toks[j].text;
+    }
+    if (secret_hit.empty()) continue;
+    const std::string site = file + ":" + scopes.at(i);
+    if (contains(rules.transport_allow, site)) {
+      used_allow->insert(site);
+      continue;
+    }
+    out.push_back({file, toks[i].line, "transport",
+                   "secret `" + secret_hit + "` reaches a transport send at " + site +
+                       ", which is not on the [transport] allow list"});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_lint(const std::string& root, const Rules& rules,
+                              const std::vector<std::string>& files) {
+  std::vector<Finding> out;
+  std::unordered_map<std::string, Scan> scans;
+  scans.reserve(files.size());
+  for (const std::string& f : files) {
+    scans.emplace(f, scan_source(read_file((fs::path(root) / f).string())));
+  }
+
+  // Purity: the transitive project-include closure of the planner files must
+  // avoid every forbidden header. Headers outside the scan set (e.g. system
+  // headers) terminate the walk.
+  std::set<std::string> purity_closure;
+  {
+    std::vector<std::string> work(rules.purity_files.begin(), rules.purity_files.end());
+    std::set<std::string> seen(work.begin(), work.end());
+    while (!work.empty()) {
+      const std::string cur = work.back();
+      work.pop_back();
+      const auto it = scans.find(cur);
+      if (it == scans.end()) continue;
+      for (const Include& inc : it->second.includes) {
+        const std::string dep = "src/" + inc.path;  // project includes are src-relative
+        for (const std::string& forb : rules.purity_forbidden_includes) {
+          if (inc.path == forb) {
+            out.push_back({cur, inc.line, "purity",
+                           "planner include closure reaches forbidden header \"" + forb +
+                               "\" (planning must consume public data only)"});
+          }
+        }
+        if (seen.insert(dep).second) work.push_back(dep);
+      }
+    }
+  }
+  for (const std::string& f : rules.purity_files) {
+    const auto it = scans.find(f);
+    if (it == scans.end()) {
+      out.push_back({f, 1, "config", "[purity] files entry does not exist"});
+      continue;
+    }
+    check_symbols(f, it->second, rules.purity_forbidden_symbols, "purity",
+                  "in a planner file (planning must consume public data only)", out);
+  }
+
+  std::set<std::string> used_allow;
+  for (const std::string& f : files) {
+    const Scan& scan = scans.at(f);
+    check_layers(f, scan, rules, out);
+
+    const std::string head = path_head(f);
+    const bool in_role_scope = contains(rules.role_scope_dirs, head);
+    if (in_role_scope) {
+      if (contains(rules.garbler_files, f)) {
+        check_symbols(f, scan, rules.evaluator_symbols, "role",
+                      "(evaluator-only) from a garbler translation unit", out);
+      } else if (contains(rules.evaluator_files, f)) {
+        check_symbols(f, scan, rules.garbler_symbols, "role",
+                      "(garbler-only) from an evaluator translation unit", out);
+      } else if (!contains(rules.dual_files, f)) {
+        std::size_t gl = 0;
+        std::size_t el = 0;
+        if (references_any(scan, rules.garbler_symbols, &gl) &&
+            references_any(scan, rules.evaluator_symbols, &el)) {
+          out.push_back({f, std::max(gl, el), "dual",
+                         "references both garbler-only and evaluator-only symbols but is "
+                         "not on the [roles] dual_files allow list"});
+        }
+      }
+    }
+
+    if (contains(rules.banned_scope_dirs, head)) {
+      check_symbols(f, scan, rules.banned_symbols, "banned", "(banned identifier)", out);
+    }
+    check_transport(f, scan, rules, &used_allow, out);
+  }
+
+  // Stale allowlist entries rot into silent holes; flag them.
+  for (const std::string& a : rules.transport_allow) {
+    if (!used_allow.count(a)) {
+      out.push_back({a.substr(0, a.find(':')), 0, "config",
+                     "[transport] allow entry \"" + a +
+                         "\" matched no secret-bearing send (stale entry?)"});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+std::string format_finding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message;
+}
+
+}  // namespace arm2gc::lint

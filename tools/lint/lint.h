@@ -1,0 +1,120 @@
+// arm2gc_lint: a dependency-free static checker for the repo's two
+// machine-checkable security invariants plus its layering discipline.
+//
+// The paper's security argument (ARM2GC §3, "SkipGate acts on public values
+// only") is a *structural* property of this codebase: the Planner consumes
+// nothing secret, each party endpoint owns only its role's secret state, and
+// secrets cross the party boundary only as framed gc::Transport blocks at a
+// small number of audited call sites. The compiler cannot check any of that,
+// so this tool does — at token / include-graph level, with the rules and the
+// audited-site allowlist committed in-tree (tools/lint_rules.toml) so every
+// widening of the secret surface is a reviewed diff.
+//
+// Rules (each one a Finding::rule value):
+//   layer      a src/<dir> file includes a project header its declared layer
+//              may not depend on (the DAG is crypto/netlist -> gc -> core ->
+//              builder/circuits/arm/programs -> tools/bench/tests/examples).
+//   role       a garbler translation unit references an evaluator-only
+//              symbol or vice versa (e.g. core/evaluator.cpp naming the
+//              free-XOR offset R or GarblerSession).
+//   dual       a file outside the two role sets references secret symbols of
+//              BOTH roles without being on the committed dual allowlist
+//              (composition drivers such as core/skipgate.cpp are listed;
+//              anything new naming both parties' secrets is a reviewed act).
+//   purity     a planner file (core/plan.*) includes — directly or through
+//              the project include closure — a party-session, transport or
+//              secret-randomness header, or references such a symbol.
+//              Planning must stay a pure function of public data.
+//   transport  a transport send whose argument expression mentions a raw
+//              secret token (labels, R, OT pads) at a call site not on the
+//              allowlist. Secrets may only reach serialization through the
+//              audited sites.
+//   banned     a globally banned identifier (libc randomness etc.) in src/.
+//   config     the rules file itself is inconsistent (e.g. an allowlist
+//              entry that matches nothing — stale entries must not linger).
+//
+// The analysis is deliberately token-granular, not semantic: it never
+// false-negatives on renamed includes or on symbols smuggled through macros
+// in this codebase's style, and it runs in milliseconds with zero
+// dependencies, so it can gate every commit. compile_commands.json (exported
+// by the build) can supply the TU list; headers are always swept from the
+// scan directories.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace arm2gc::lint {
+
+struct Finding {
+  std::string file;  ///< repo-relative path
+  std::size_t line = 0;
+  std::string rule;  ///< layer | role | dual | purity | transport | banned | config
+  std::string message;
+};
+
+/// Parsed lint_rules.toml (minimal TOML subset: [section], key = "string",
+/// key = ["a", "b", ...] with arrays allowed to span lines).
+struct Rules {
+  // [scan]
+  std::vector<std::string> scan_dirs;      ///< roots to sweep for sources
+  std::vector<std::string> scan_exclude;   ///< path prefixes to skip (fixtures)
+
+  // [layers]: directory under src/ -> directories it may include from.
+  std::map<std::string, std::vector<std::string>> layers;
+  std::vector<std::string> unrestricted_dirs;  ///< top-level dirs free to include anything
+
+  // [roles]
+  std::vector<std::string> garbler_files;
+  std::vector<std::string> evaluator_files;
+  std::vector<std::string> garbler_symbols;
+  std::vector<std::string> evaluator_symbols;
+  std::vector<std::string> dual_files;      ///< may reference both roles' symbols
+  std::vector<std::string> role_scope_dirs; ///< dirs the role/dual rules cover
+
+  // [purity]
+  std::vector<std::string> purity_files;
+  std::vector<std::string> purity_forbidden_includes;
+  std::vector<std::string> purity_forbidden_symbols;
+
+  // [transport]
+  std::vector<std::string> transport_send_tokens;   ///< method names (e.g. "send")
+  std::vector<std::string> transport_secret_tokens; ///< raw-secret identifiers
+  std::vector<std::string> transport_allow;         ///< "file:Qualified::function"
+  std::vector<std::string> transport_scope_dirs;
+
+  // [banned]
+  std::vector<std::string> banned_symbols;
+  std::vector<std::string> banned_scope_dirs;
+};
+
+/// Parses the rules text; throws std::runtime_error with a line-anchored
+/// message on malformed input.
+Rules parse_rules(const std::string& text);
+
+/// Reads and parses a rules file.
+Rules load_rules(const std::string& path);
+
+/// Walks the configured scan dirs under `root` for .h/.cpp sources,
+/// repo-relative, sorted. Honors scan_exclude prefixes.
+std::vector<std::string> collect_sources(const std::string& root, const Rules& rules);
+
+/// Extracts the "file" entries of a compile_commands.json, repo-relative to
+/// `root`; entries outside the scan dirs (e.g. _deps) are dropped. Used to
+/// confirm the build's TU list is covered by the tree walk.
+std::vector<std::string> tus_from_compile_commands(const std::string& json_path,
+                                                   const std::string& root,
+                                                   const Rules& rules);
+
+/// Runs every rule over `files` (repo-relative paths under `root`). Findings
+/// are sorted by (file, line). An empty result is a clean tree.
+std::vector<Finding> run_lint(const std::string& root, const Rules& rules,
+                              const std::vector<std::string>& files);
+
+/// Formats one finding as "file:line: [rule] message".
+std::string format_finding(const Finding& f);
+
+}  // namespace arm2gc::lint
