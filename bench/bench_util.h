@@ -32,7 +32,15 @@ class JsonWriter {
     kv_.emplace_back(key, buf);
   }
   void add(const std::string& key, const std::string& v) {
-    kv_.emplace_back(key, "\"" + escape(v) + "\"");
+    // Built by append instead of a leading-literal operator+ chain to
+    // sidestep the GCC 12 -Wrestrict false positive (PR 105329), as num()
+    // below does.
+    std::string quoted;
+    quoted.reserve(v.size() + 2);
+    quoted.push_back('"');
+    quoted.append(escape(v));
+    quoted.push_back('"');
+    kv_.emplace_back(key, std::move(quoted));
   }
 
   /// Writes `{ "key": value, ... }`; returns false (and complains) on I/O
@@ -94,6 +102,7 @@ inline void json_stats(const std::string& prefix, const arm2gc::core::RunStats& 
   json().add(prefix + ".plan_cache_hit_ratio", s.plan_cache_hit_ratio());
   json().add(prefix + ".cone_hit_ratio", s.cone_hit_ratio());
   json().add(prefix + ".comm_bytes", s.comm.total());
+  json().add(prefix + ".threads", s.threads);
 }
 
 inline void header(const std::string& title) {
@@ -145,13 +154,14 @@ inline std::string improv_ratio(std::uint64_t without, std::uint64_t with) {
 }
 
 /// Uniform per-row protocol-stats suffix: SkipGate elision ratio, plan cache
-/// hit rate and cone-memo hit rate, straight from RunStats (no per-bench
-/// hand computation).
+/// hit rate, cone-memo hit rate and worker-thread count, straight from
+/// RunStats (no per-bench hand computation).
 inline std::string stats_brief(const arm2gc::core::RunStats& s) {
   char buf[96];
-  std::snprintf(buf, sizeof buf, "skip %6.2f%%  cache %5.1f%%  cone %5.1f%%",
+  std::snprintf(buf, sizeof buf, "skip %6.2f%%  cache %5.1f%%  cone %5.1f%%  thr %llu",
                 100.0 * s.skip_ratio(), 100.0 * s.plan_cache_hit_ratio(),
-                100.0 * s.cone_hit_ratio());
+                100.0 * s.cone_hit_ratio(),
+                static_cast<unsigned long long>(s.threads));
   return buf;
 }
 

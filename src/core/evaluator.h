@@ -25,14 +25,21 @@
 
 namespace arm2gc::core {
 
+class WorkPool;
+
 class EvaluatorSession {
  public:
   /// `seed` feeds only the OT receiver's randomness (domain-separated); the
   /// evaluator holds no label-generating state. `warm_ot` (optional, IKNP
-  /// only) carries base-OT state across runs of one pairing.
+  /// only) carries base-OT state across runs of one pairing. `pool`
+  /// (optional) evaluates independent cone slices on its workers once their
+  /// table frames arrive: frames are pulled off the transport in slice
+  /// order on the calling thread (the read mirror of the garbler's ordered
+  /// writer), so the consumed byte stream and received-table digest are
+  /// byte-identical to the serial path.
   EvaluatorSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme, crypto::Block seed,
                    gc::Transport& tx, gc::OtBackend ot_backend = gc::OtBackend::Ideal,
-                   gc::IknpReceiverState* warm_ot = nullptr);
+                   gc::IknpReceiverState* warm_ot = nullptr, WorkPool* pool = nullptr);
 
   /// Queues OT choices for Bob's fixed inputs and flip-flop initial values
   /// and emits the receiver-side OT request. Must run before the garbler's
@@ -88,6 +95,13 @@ class EvaluatorSession {
   gc::Evaluator eval_;
   gc::Transport* tx_;
   std::unique_ptr<gc::OtReceiver> ot_;
+  WorkPool* pool_;
+
+  /// Per-slice staged tables (filled by the ordered transport reader,
+  /// consumed by the slice's worker) and the per-slice emitted-table prefix
+  /// sums that preassign each cone's tweak range.
+  std::vector<std::vector<gc::GarbledTable>> stage_;
+  std::vector<std::uint64_t> emit_base_;
 
   std::vector<crypto::Block> lb_;
   std::vector<std::uint8_t> lb_valid_;

@@ -11,6 +11,7 @@
 // driver's ot_* hooks order this; see core/skipgate.cpp).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -23,13 +24,19 @@
 
 namespace arm2gc::core {
 
+class WorkPool;
+
 class GarblerSession {
  public:
   /// `ot_backend` selects the OT endpoint; `warm_ot` (optional, IKNP only)
-  /// carries base-OT state across runs of one pairing.
+  /// carries base-OT state across runs of one pairing. `pool` (optional)
+  /// garbles independent cone slices on its workers, staging each cone's
+  /// tables and draining them in slice order through a single ordered
+  /// writer — the framed byte stream, table digests and comm accounting are
+  /// byte-identical to the serial path.
   GarblerSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme, crypto::Block seed,
                  gc::Transport& tx, gc::OtBackend ot_backend = gc::OtBackend::Ideal,
-                 gc::IknpSenderState* warm_ot = nullptr);
+                 gc::IknpSenderState* warm_ot = nullptr, WorkPool* pool = nullptr);
 
   /// Binds labels for constants (Conventional mode), fixed inputs and
   /// flip-flop initial values; sends the evaluator's labels (directly for
@@ -67,12 +74,22 @@ class GarblerSession {
   gc::Garbler garbler_;
   gc::Transport* tx_;
   std::unique_ptr<gc::OtSender> ot_;
+  WorkPool* pool_;
 
   std::vector<crypto::Block> la_;
   std::vector<crypto::Block> fixed_la_;
   std::vector<crypto::Block> dff_la_;
   crypto::Block const_la_[2];
   crypto::Block table_digest_{};
+  /// Per-slice staging buffers for pooled garbling (drained in slice order
+  /// by the transport writer) and the per-slice emitted-table prefix sums
+  /// that preassign each cone's tweak range.
+  std::vector<std::vector<gc::GarbledTable>> stage_;
+  std::vector<std::uint64_t> emit_base_;
+  /// Per-cycle domain for Classic4 derived output labels (advanced every
+  /// garble_cycle, never reset): labels are functions of (epoch, gate), so
+  /// worker order cannot perturb them.
+  std::uint64_t cycle_epoch_ = 0;
 };
 
 }  // namespace arm2gc::core

@@ -4,6 +4,7 @@
 
 #include "core/evaluator.h"
 #include "core/garbler.h"
+#include "core/workpool.h"
 
 namespace arm2gc::core {
 
@@ -11,7 +12,8 @@ namespace {
 
 using netlist::BitVec;
 
-PlannerOptions make_planner_opts(const PartyOptions& o, PlanCache* shared, ConeMemo* cones) {
+PlannerOptions make_planner_opts(const PartyOptions& o, PlanCache* shared, ConeMemo* cones,
+                                 WorkPool* pool) {
   PlannerOptions p;
   p.mode = o.mode;
   p.seed = o.protocol_seed;
@@ -23,7 +25,21 @@ PlannerOptions make_planner_opts(const PartyOptions& o, PlanCache* shared, ConeM
   p.cone_memo_budget_bytes = o.cone_memo_budget_bytes;
   p.shared_cone_memo = cones;
   p.cone_target_gates = o.cone_target_gates;
+  p.pool = pool;
   return p;
+}
+
+/// Resolves PartyOptions::threads into the endpoint's worker pool: null when
+/// serial, the WarmState's persistent pool on a warm run, a freshly owned
+/// pool (stored into `owned`) otherwise. Used in member-initializer position
+/// after warm_/owned_pool_ are set.
+WorkPool* resolve_pool(const PartyOptions& opts, WarmState* warm,
+                       std::unique_ptr<WorkPool>& owned) {
+  const std::size_t n = WorkPool::resolve_threads(opts.threads);
+  if (n <= 1) return nullptr;
+  if (warm != nullptr) return warm->pool(n);
+  owned = std::make_unique<WorkPool>(n);
+  return owned.get();
 }
 
 /// Validates the option/warm-state combination for one endpoint and passes
@@ -93,6 +109,15 @@ WarmState::WarmState(Role role, const Options& opts)
   }
 }
 
+WarmState::~WarmState() = default;
+
+WorkPool* WarmState::pool(std::size_t threads) {
+  if (pool_ == nullptr || pool_->threads() != threads) {
+    pool_ = std::make_unique<WorkPool>(threads);
+  }
+  return pool_.get();
+}
+
 void WarmState::reset_ot() {
   // Re-derive from the same private seed: both parties resetting after a
   // shared abort re-base consistently (and deterministically for tests); a
@@ -115,11 +140,13 @@ GarblerEndpoint::GarblerEndpoint(const netlist::Netlist& nl, const PartyOptions&
       cycle_count_(opts.fixed_cycles ? *opts.fixed_cycles : opts.max_cycles),
       warm_(checked_warm(nl, opts, halt_driven_, cycle_count_, warm, Role::Garbler)),
       tx_(&tx),
+      pool_(resolve_pool(opts, warm_, owned_pool_)),
       planner_(nl, make_planner_opts(opts, warm ? &warm->plan_cache_ : nullptr,
-                                     warm ? &warm->cone_memo_ : nullptr)),
+                                     warm ? &warm->cone_memo_ : nullptr, pool_)),
       session_(std::make_unique<GarblerSession>(nl, opts.mode, opts.scheme, opts.own_seed(), tx,
                                                 opts.ot_backend,
-                                                warm ? warm->ot_sender_.get() : nullptr)) {}
+                                                warm ? warm->ot_sender_.get() : nullptr,
+                                                pool_)) {}
 
 GarblerEndpoint::~GarblerEndpoint() = default;
 
@@ -171,6 +198,7 @@ RunResult GarblerEndpoint::finish() {
   // sends (e.g. final tables the peer has yet to evaluate) and no own-recv
   // will come along to flush them implicitly.
   tx_->flush();
+  stats_.threads = pool_ != nullptr ? pool_->threads() : 1;
   stats_.skipped_non_xor = stats_.non_xor_slots - stats_.garbled_non_xor;
   stats_.plan_cache_hits = planner_.cache_hits();
   stats_.plan_cache_misses = planner_.cache_misses();
@@ -225,12 +253,14 @@ EvaluatorEndpoint::EvaluatorEndpoint(const netlist::Netlist& nl, const PartyOpti
       cycle_count_(opts.fixed_cycles ? *opts.fixed_cycles : opts.max_cycles),
       warm_(checked_warm(nl, opts, halt_driven_, cycle_count_, warm, Role::Evaluator)),
       tx_(&tx),
+      pool_(resolve_pool(opts, warm_, owned_pool_)),
       planner_(std::make_unique<Planner>(
           nl, make_planner_opts(opts, warm ? &warm->plan_cache_ : nullptr,
-                                warm ? &warm->cone_memo_ : nullptr))),
+                                warm ? &warm->cone_memo_ : nullptr, pool_))),
       session_(std::make_unique<EvaluatorSession>(nl, opts.mode, opts.scheme, opts.own_seed(),
                                                   tx, opts.ot_backend,
-                                                  warm ? warm->ot_receiver_.get() : nullptr)) {}
+                                                  warm ? warm->ot_receiver_.get() : nullptr,
+                                                  pool_)) {}
 
 EvaluatorEndpoint::EvaluatorEndpoint(const netlist::Netlist& nl, const PartyOptions& opts,
                                      gc::Transport& tx, WarmState* warm,
@@ -242,9 +272,11 @@ EvaluatorEndpoint::EvaluatorEndpoint(const netlist::Netlist& nl, const PartyOpti
       warm_(checked_warm(nl, opts, halt_driven_, cycle_count_, warm, Role::Evaluator)),
       tx_(&tx),
       leader_(&leader),
+      pool_(resolve_pool(opts, warm_, owned_pool_)),
       session_(std::make_unique<EvaluatorSession>(nl, opts.mode, opts.scheme, opts.own_seed(),
                                                   tx, opts.ot_backend,
-                                                  warm ? warm->ot_receiver_.get() : nullptr)) {
+                                                  warm ? warm->ot_receiver_.get() : nullptr,
+                                                  pool_)) {
   if (&leader.nl_ != &nl) {
     throw std::invalid_argument("party: plan-following evaluator bound to a different netlist");
   }
@@ -321,6 +353,7 @@ RunResult EvaluatorEndpoint::finish() {
   // The final cycle's output labels are the evaluator's last sends; flush
   // them or a buffering transport leaves the garbler's decode waiting.
   tx_->flush();
+  stats_.threads = pool_ != nullptr ? pool_->threads() : 1;
   stats_.skipped_non_xor = stats_.non_xor_slots - stats_.garbled_non_xor;
   if (planner_ != nullptr) {
     stats_.plan_cache_hits = planner_->cache_hits();

@@ -44,6 +44,7 @@ namespace arm2gc::core {
 
 class GarblerSession;
 class EvaluatorSession;
+class WorkPool;
 
 /// The default public protocol seed (fingerprint streams + in-process
 /// private randomness when no party-specific seed is supplied).
@@ -58,6 +59,9 @@ enum class Role : std::uint8_t { Garbler, Evaluator };
 
 struct RunStats {
   std::uint64_t cycles = 0;
+  /// Worker threads this endpoint ran with (1 = serial; parallelism never
+  /// changes any other field of this struct — pinned by parallel_test).
+  std::uint64_t threads = 1;
   /// Garbled tables actually transferred: the paper's "# of Garbled Non-XOR".
   std::uint64_t garbled_non_xor = 0;
   /// Non-affine gate slots (gate x cycle) that were *not* garbled.
@@ -168,6 +172,12 @@ struct PartyOptions {
   std::size_t cone_target_gates = 512;
   /// OT backend for Bob's input labels (gc/otext.h); must match the peer.
   gc::OtBackend ot_backend = gc::OtBackend::Ideal;
+  /// Worker threads for garbling/evaluation and the planner's per-cone
+  /// classification (0 = one per hardware thread). Purely local execution
+  /// tuning: the framed byte stream, table digests, comm accounting and
+  /// every RunStats counter are identical at any thread count, so the two
+  /// parties need not agree on it.
+  std::size_t threads = 1;
 
   [[nodiscard]] crypto::Block own_seed() const {
     return private_seed.value_or(protocol_seed);
@@ -197,6 +207,7 @@ class WarmState {
 
   explicit WarmState(Role role);  ///< default Options
   WarmState(Role role, const Options& opts);
+  ~WarmState();
 
   [[nodiscard]] Role role() const { return role_; }
   [[nodiscard]] gc::OtBackend ot_backend() const { return opts_.ot_backend; }
@@ -211,6 +222,12 @@ class WarmState {
   /// abort; callable directly to force a re-base.
   void reset_ot();
 
+  /// Lazily built worker pool shared by every run of this pairing (workers
+  /// park between runs, so keeping it here saves the per-run thread spawn).
+  /// Rebuilt if a run asks for a different thread count. Never call with
+  /// threads == 0 — resolve via WorkPool::resolve_threads first.
+  [[nodiscard]] WorkPool* pool(std::size_t threads);
+
  private:
   friend class GarblerEndpoint;
   friend class EvaluatorEndpoint;
@@ -221,6 +238,7 @@ class WarmState {
   ConeMemo cone_memo_;
   std::unique_ptr<gc::IknpSenderState> ot_sender_;      ///< Role::Garbler only
   std::unique_ptr<gc::IknpReceiverState> ot_receiver_;  ///< Role::Evaluator only
+  std::unique_ptr<WorkPool> pool_;                      ///< built by pool()
 };
 
 // The two endpoints share one stepwise schedule; the hook split exists so
@@ -284,6 +302,11 @@ class GarblerEndpoint {
   std::uint64_t cycle_count_;
   WarmState* warm_;
   gc::Transport* tx_;
+  // Declared (and therefore initialized) before planner_/session_, which
+  // borrow the raw pointer. Warm runs share the WarmState's pool; a cold
+  // multi-thread run owns one; serial runs keep both null.
+  std::unique_ptr<WorkPool> owned_pool_;
+  WorkPool* pool_;
   Planner planner_;
   std::unique_ptr<GarblerSession> session_;
   const StreamProvider* streams_ = nullptr;
@@ -347,6 +370,8 @@ class EvaluatorEndpoint {
   WarmState* warm_;
   gc::Transport* tx_;
   const GarblerEndpoint* leader_ = nullptr;  ///< plan-following mode when set
+  std::unique_ptr<WorkPool> owned_pool_;     ///< see GarblerEndpoint
+  WorkPool* pool_;
   std::unique_ptr<Planner> planner_;         ///< null in plan-following mode
   std::unique_ptr<EvaluatorSession> session_;
   const StreamProvider* streams_ = nullptr;

@@ -107,6 +107,13 @@ struct CyclePlan {
   const PlanSlice* slices = nullptr;
   std::size_t num_slices = 0;
   const std::uint8_t* wire_bits = nullptr;  ///< bit0 pub, bit1 val, bit2 flip
+  /// Cone dependency CSR: slice i reads outputs of earlier slices
+  /// dep_edges[dep_offsets[i] .. dep_offsets[i+1]) (every edge points at a
+  /// lower slice index, so ascending slice order is a valid serial
+  /// schedule). This is the exact scheduling constraint for garbling or
+  /// evaluating slices on a worker pool.
+  const std::uint32_t* dep_offsets = nullptr;
+  const std::uint32_t* dep_edges = nullptr;
   std::size_t num_gates = 0;
   std::size_t num_wires = 0;
   std::uint64_t emitted = 0;  ///< number of garbled tables this cycle
@@ -288,6 +295,18 @@ class ConeMemo {
   /// the caller walks candidates until one verifies.
   [[nodiscard]] Entry* find(std::uint32_t segment, std::uint64_t hash,
                             const std::vector<std::uint64_t>& key, std::size_t* after);
+  /// Read-only candidate walk: the same sequence find() would return, with
+  /// no LRU motion — safe to call from concurrent workers probing different
+  /// segments. The caller replays the deferred LRU touches serially via
+  /// touch_candidates() once the parallel phase is over.
+  [[nodiscard]] const Entry* peek(std::uint32_t segment, std::uint64_t hash,
+                                  const std::vector<std::uint64_t>& key,
+                                  std::size_t* after) const;
+  /// Replays the LRU effect of `probed` find() probes for this key: splices
+  /// the first `probed` key-equal candidates to the front, in probe order.
+  /// Candidates evicted since the probe are silently skipped.
+  void touch_candidates(std::uint32_t segment, std::uint64_t hash,
+                        const std::vector<std::uint64_t>& key, std::size_t probed);
   [[nodiscard]] Entry* insert(std::uint32_t segment, std::uint64_t hash,
                               const std::vector<std::uint64_t>& key);
 
@@ -302,9 +321,16 @@ class ConeMemo {
   std::uint64_t layout_key_ = 0;
 };
 
+class WorkPool;
+
 struct PlannerOptions {
   Mode mode = Mode::SkipGate;
   crypto::Block seed{};  ///< fingerprint stream seed (public; must match peer)
+  /// Optional worker pool for cone-parallel classification and hit
+  /// verification (null = serial). Parallel and serial runs produce
+  /// bit-identical plans: per-gate fingerprints are derived, not streamed,
+  /// and all cache/memo bookkeeping stays on the calling thread.
+  WorkPool* pool = nullptr;
   bool cache = true;
   /// Budget for the planner-owned cache when no shared cache is supplied.
   std::size_t cache_budget_bytes = 64u << 20;
@@ -367,33 +393,51 @@ class Planner {
   using Entry = PlanCache::Entry;
 
   crypto::Block fresh_fp();
+  /// Fingerprint of a category-iv gate output: a pure function of the
+  /// cycle's fp epoch and the gate index, so the value is identical whether
+  /// the gate is classified serially, on a worker, or re-derived during a
+  /// hit verification — order-independence is what makes cone-parallel
+  /// classification bit-identical to the serial pass. Disjoint from the
+  /// root fingerprint stream by construction (top plaintext bit).
+  [[nodiscard]] crypto::Block derived_fp(std::size_t gate) const;
   void bind_secret_fp(WireState& s);
   void build_signature();
-  /// Gathers a dirty cone's exact memo key into seg_key_.
-  void build_segment_key(std::size_t si, const PlanSegment& seg);
+  /// Gathers a dirty cone's exact memo key into `out`.
+  void build_segment_key(std::size_t si, const PlanSegment& seg,
+                         std::vector<std::uint64_t>& out) const;
   /// Forward-classifies the cycle into `e` — whole netlist, or stitched
   /// cone by cone when cone memoization is enabled: clean cones (no root
   /// signature word changed, no upstream slice changed) adopt the previous
   /// cycle's slice outright; dirty cones consult the memo by local key;
-  /// memo misses reclassify.
+  /// memo misses reclassify. Segments are processed on the worker pool when
+  /// one is configured (classification is per-cone data-independent given
+  /// the dependency DAG); memo LRU motion and counters are replayed
+  /// serially afterwards, so the result is bit-identical to a serial run.
   void build_plan(Entry& e);
-  /// Fresh forward classification of one segment's gates into `e`.
-  void classify_segment(Entry& e, const PlanSegment& seg);
+  /// Fresh forward classification of one segment's gates into `e`; touched
+  /// gate indices are appended to `touch` (per-segment scratch).
+  void classify_segment(Entry& e, const PlanSegment& seg, std::vector<std::uint32_t>& touch);
   /// Copies a cached cone slice (memo entry or previous-cycle snapshot)
   /// into `e` and verifies it (below); false = drift, caller reclassifies
-  /// the segment (e's slice is simply overwritten).
+  /// the segment (e's slice is simply overwritten). On success the slice's
+  /// touch indices are appended to `touch`.
   [[nodiscard]] bool adopt_segment(Entry& e, const PlanSegment& seg, const std::uint8_t* act,
                                    const netlist::WireId* pass_src,
                                    const std::uint8_t* out_bits, const std::uint32_t* touch,
-                                   std::size_t touch_count);
-  /// Hit path: walks the touch list once, propagating fingerprints through
-  /// the cached actions AND verifying every fingerprint-dependent
+                                   std::size_t touch_count, std::vector<std::uint32_t>& out_touch);
+  /// Hit path: verifies the whole entry — per-segment touch sub-ranges in
+  /// parallel on the pool when one is configured, one serial walk otherwise.
+  [[nodiscard]] bool verify_entry(const Entry& e);
+  /// Walks a touch (sub-)list once, propagating fingerprints through the
+  /// cached actions AND verifying every fingerprint-dependent
   /// classification decision (category iii, XOR cancellation, category iv)
   /// against the current fingerprints. Returns false when any decision would
   /// differ — the cycle's XOR-linear fingerprint structure drifted from the
   /// cached state, which the equality-class keys cannot see — and the
-  /// caller must reclassify. Restores the fingerprint stream on failure so
-  /// the fallback is bit-identical to an uncached run.
+  /// caller must reclassify. Failure is side-effect free: derived
+  /// fingerprints are pure functions of (epoch, gate), so there is no
+  /// stream cursor to restore and partially-written fingerprints are
+  /// rewritten by the fallback classification.
   [[nodiscard]] bool verify_touch(const Entry& e, const std::uint32_t* touch,
                                   std::size_t touch_count);
   void backward_fill(const Entry& e, PlanCache::Backward& b, bool is_final);
@@ -402,14 +446,22 @@ class Planner {
   PlannerOptions opts_;
   PlanLayout layout_;
 
-  // Fingerprints are AES-CTR outputs consumed in strict counter order; the
-  // forward pass draws one per category-iv gate every cycle, so they are
-  // generated a pipelined batch at a time (same sequence as scalar calls).
+  // Root fingerprints are AES-CTR outputs consumed in strict counter order
+  // (binding happens serially in reset()/begin_cycle()), generated a
+  // pipelined batch at a time (same sequence as scalar calls). Category-iv
+  // gate fingerprints do NOT come from this stream: they are derived per
+  // (epoch, gate) — see derived_fp() — so classification order cannot
+  // perturb them.
   static constexpr std::size_t kFpBatch = 8;
   crypto::Aes128 fp_gen_;
   std::uint64_t fp_ctr_ = 0;
   std::array<crypto::Block, kFpBatch> fp_buf_{};
   std::size_t fp_pos_ = kFpBatch;
+  /// Derived-fingerprint epoch: incremented at the top of every forward()
+  /// (hit or miss alike), never reset, so each cycle's category-iv
+  /// fingerprints are globally fresh while being order-independent within
+  /// the cycle. Both parties advance it identically (one forward per cycle).
+  std::uint64_t fp_epoch_ = 0;
 
   // Per-wire cycle state. Packed public/value/flip bits live in the current
   // entry's wire_bits (adopted slices memcpy them wholesale); st_ carries
@@ -481,11 +533,29 @@ class Planner {
   /// slice ids only pin gate-range content.
   std::vector<netlist::WireId> backward_root_wires_;
 
+  // Cone dependency CSR over slices, flattened once from layout_ (every
+  // edge points at a lower index). Drives the worker-pool schedule of
+  // classification/verification and is exported through CyclePlan for the
+  // party sessions' parallel garble/eval schedules.
+  std::vector<std::uint32_t> slice_dep_offsets_;
+  std::vector<std::uint32_t> slice_dep_edges_;
+
+  // Per-segment scratch for the parallel classification phase: each worker
+  // writes only its own segment's slots; the serial stitch phase reads them
+  // in ascending segment order.
+  enum : std::uint8_t { kSegCleanAdopt = 0, kSegMemoAdopt = 1, kSegClassified = 2 };
+  std::vector<std::vector<std::uint32_t>> seg_touch_;
+  std::vector<std::vector<std::uint64_t>> seg_keys_;
+  std::vector<std::uint64_t> seg_hash_;
+  std::vector<std::uint32_t> seg_probes_;    ///< memo candidates probed
+  std::vector<std::uint64_t> seg_adopt_id_;  ///< slice id of the adopted memo entry
+  std::vector<std::uint8_t> seg_result_;
+  std::vector<std::uint8_t> seg_ok_;  ///< per-segment hit-verification flags
+
   // Signature scratch: fingerprint -> root-sweep equivalence-class id,
   // epoch-stamped so the table never needs clearing (64-bit epoch: never
   // wraps within a run).
   std::vector<std::uint32_t> sig_;
-  std::vector<std::uint64_t> seg_key_;
   struct ClassSlot {
     crypto::Block fp{};
     std::uint32_t id = 0;

@@ -143,6 +143,7 @@ PartyOptions party_options(Role role, const RunOptions& opts) {
   p.cone_memo_budget_bytes = opts.exec.cone_memo_budget_bytes;
   p.cone_target_gates = opts.exec.cone_target_gates;
   p.ot_backend = opts.exec.ot_backend;
+  p.threads = opts.exec.threads;
   return p;
 }
 

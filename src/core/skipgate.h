@@ -59,6 +59,12 @@ struct ExecOptions {
   /// non-OT byte count are bit-identical across backends; only OT traffic
   /// and timing differ.
   gc::OtBackend ot_backend = gc::OtBackend::Ideal;
+  /// Worker threads per party for garbling/evaluation and per-cone plan
+  /// classification (core/workpool.h; 0 = one per hardware thread). Like
+  /// every ExecOptions field this never changes results: the ordered
+  /// transport writer keeps the framed byte stream, table digests and comm
+  /// accounting byte-identical to threads == 1.
+  std::size_t threads = 1;
 };
 
 struct RunOptions {

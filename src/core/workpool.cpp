@@ -1,0 +1,178 @@
+#include "core/workpool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arm2gc::core {
+
+WorkPool::WorkPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(threads, 1);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkPool::~WorkPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t WorkPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+void WorkPool::run_serial(std::size_t n, const TaskFn& fn, const TaskFn& feed,
+                          const TaskFn& drain) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (feed) feed(i);
+    fn(i);
+    if (drain) drain(i);
+  }
+}
+
+void WorkPool::execute(WorkPool* pool, std::size_t n, const std::uint32_t* dep_offsets,
+                       const std::uint32_t* dep_edges, const TaskFn& fn, const TaskFn& feed,
+                       const TaskFn& drain) {
+  if (pool == nullptr) {
+    run_serial(n, fn, feed, drain);
+  } else {
+    pool->run(n, dep_offsets, dep_edges, fn, feed, drain);
+  }
+}
+
+void WorkPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] {
+      return shutdown_ || (run_ != nullptr && !run_->ready.empty() && !run_->cancelled);
+    });
+    if (shutdown_) return;
+    RunState& rs = *run_;
+    const std::uint32_t i = rs.ready.front();
+    rs.ready.pop_front();
+    ++rs.inflight;
+    lk.unlock();
+
+    std::exception_ptr err;
+    try {
+      (*rs.fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+
+    lk.lock();
+    --rs.inflight;
+    if (err != nullptr) {
+      if (rs.error == nullptr) rs.error = err;
+      rs.cancelled = true;
+      io_cv_.notify_all();
+      continue;
+    }
+    rs.done[i] = 1;
+    for (std::uint32_t k = rs.out_offsets[i]; k < rs.out_offsets[i + 1]; ++k) {
+      const std::uint32_t d = rs.out_edges[k];
+      if (--rs.indeg[d] == 0) {
+        rs.ready.push_back(d);
+        work_cv_.notify_one();
+      }
+    }
+    io_cv_.notify_all();
+  }
+}
+
+void WorkPool::run(std::size_t n, const std::uint32_t* dep_offsets,
+                   const std::uint32_t* dep_edges, const TaskFn& fn, const TaskFn& feed,
+                   const TaskFn& drain) {
+  if (n == 0) return;
+
+  RunState rs;
+  rs.n = n;
+  rs.fn = &fn;
+  rs.indeg.assign(n, feed ? 1u : 0u);
+  rs.done.assign(n, 0);
+  rs.out_offsets.assign(n + 1, 0);
+  if (dep_offsets != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint32_t k = dep_offsets[i]; k < dep_offsets[i + 1]; ++k) {
+        const std::uint32_t dep = dep_edges[k];
+        if (dep >= i) throw std::invalid_argument("workpool: dependency edge not backward");
+        rs.indeg[i] += 1;
+        rs.out_offsets[dep + 1] += 1;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) rs.out_offsets[i + 1] += rs.out_offsets[i];
+    rs.out_edges.resize(rs.out_offsets[n]);
+    std::vector<std::uint32_t> cursor(rs.out_offsets.begin(), rs.out_offsets.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint32_t k = dep_offsets[i]; k < dep_offsets[i + 1]; ++k) {
+        rs.out_edges[cursor[dep_edges[k]]++] = static_cast<std::uint32_t>(i);
+      }
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (run_ != nullptr) throw std::logic_error("workpool: nested run on one pool");
+  run_ = &rs;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rs.indeg[i] == 0) rs.ready.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (!rs.ready.empty()) work_cv_.notify_all();
+
+  // The caller is the I/O thread: it alternates draining completed tasks (in
+  // ascending order — the single ordered writer) with feeding the next unfed
+  // task, and parks on io_cv_ when neither is possible.
+  const auto io_step = [&](const TaskFn& io, std::size_t i) {
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      io(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    if (err != nullptr) {
+      if (rs.error == nullptr) rs.error = err;
+      rs.cancelled = true;
+    }
+    return err == nullptr;
+  };
+
+  std::size_t drained = 0;
+  std::size_t fed = feed ? 0 : n;
+  while (drained < n && !rs.cancelled) {
+    if (rs.done[drained] != 0) {
+      if (drain) {
+        if (!io_step(drain, drained)) break;
+      }
+      ++drained;
+      continue;
+    }
+    if (fed < n) {
+      const std::size_t i = fed;
+      if (!io_step(feed, i)) break;
+      ++fed;
+      if (--rs.indeg[i] == 0) {
+        rs.ready.push_back(static_cast<std::uint32_t>(i));
+        work_cv_.notify_one();
+      }
+      continue;
+    }
+    io_cv_.wait(lk, [&] { return rs.done[drained] != 0 || rs.cancelled; });
+  }
+
+  // Settle: no new task starts once cancelled (the workers' predicate stops
+  // them); wait out in-flight ones before the stack-allocated state dies.
+  io_cv_.wait(lk, [&] { return rs.inflight == 0; });
+  run_ = nullptr;
+  lk.unlock();
+  if (rs.error != nullptr) std::rethrow_exception(rs.error);
+}
+
+}  // namespace arm2gc::core

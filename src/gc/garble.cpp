@@ -18,26 +18,35 @@ Garbler::Garbler(Block seed, Scheme scheme) : rng_(seed), scheme_(scheme) {
 Block Garbler::fresh_label() { return rng_.next_block(); }
 
 Block Garbler::garble(Block a0, Block b0, netlist::AndCore core, GarbledTable& table) {
+  const std::uint64_t j0 = tweak_;
+  tweak_ += 2;
+  ++gate_counter_;
+  const Block fresh = scheme_ == Scheme::Classic4 ? fresh_label() : kZero;
+  return garble_at(a0, b0, core, j0, fresh, table);
+}
+
+Block Garbler::garble_at(Block a0, Block b0, netlist::AndCore core, std::uint64_t tweak,
+                         Block classic_fresh, GarbledTable& table) const {
   // Fold the gate's polarity into the labels: garble a plain AND over the
   // polarity-adjusted false labels, flip the output for gamma.
   const Block ea0 = a0 ^ maybe(r_, core.alpha);
   const Block eb0 = b0 ^ maybe(r_, core.beta);
   Block out0;
   switch (scheme_) {
-    case Scheme::HalfGates: out0 = half_gates(ea0, eb0, table); break;
-    case Scheme::Grr3: out0 = classic(ea0, eb0, table, /*grr3=*/true); break;
-    case Scheme::Classic4: out0 = classic(ea0, eb0, table, /*grr3=*/false); break;
+    case Scheme::HalfGates: out0 = half_gates(ea0, eb0, tweak, table); break;
+    case Scheme::Grr3: out0 = classic(ea0, eb0, tweak, kZero, table, /*grr3=*/true); break;
+    case Scheme::Classic4:
+      out0 = classic(ea0, eb0, tweak, classic_fresh, table, /*grr3=*/false);
+      break;
     default: throw std::logic_error("garbler: unknown scheme");
   }
-  ++gate_counter_;
   return out0 ^ maybe(r_, core.gamma);
 }
 
-Block Garbler::half_gates(Block a0, Block b0, GarbledTable& table) {
+Block Garbler::half_gates(Block a0, Block b0, std::uint64_t j0, GarbledTable& table) const {
   const bool pa = a0.lsb();
   const bool pb = b0.lsb();
-  const std::uint64_t j0 = tweak_++;
-  const std::uint64_t j1 = tweak_++;
+  const std::uint64_t j1 = j0 + 1;
 
   // The generator and evaluator half-gates need 4 independent hashes; one
   // batched call keeps all of them in the AES pipeline at once.
@@ -61,11 +70,11 @@ Block Garbler::half_gates(Block a0, Block b0, GarbledTable& table) {
   return wg0 ^ we0;
 }
 
-Block Garbler::classic(Block a0, Block b0, GarbledTable& table, bool grr3) {
+Block Garbler::classic(Block a0, Block b0, std::uint64_t j0, Block w0_fresh, GarbledTable& table,
+                       bool grr3) const {
   const bool pa = a0.lsb();
   const bool pb = b0.lsb();
-  const std::uint64_t j0 = tweak_++;
-  const std::uint64_t j1 = tweak_++;
+  const std::uint64_t j1 = j0 + 1;
 
   const Block in[4] = {a0, a0 ^ r_, b0, b0 ^ r_};
   const std::uint64_t tw[4] = {j0, j0, j1, j1};
@@ -82,7 +91,7 @@ Block Garbler::classic(Block a0, Block b0, GarbledTable& table, bool grr3) {
     const bool v00 = pa && pb;
     w0 = pad00 ^ maybe(r_, v00);
   } else {
-    w0 = fresh_label();
+    w0 = w0_fresh;
   }
 
   table.count = grr3 ? 3 : 4;
@@ -105,20 +114,24 @@ Block Garbler::classic(Block a0, Block b0, GarbledTable& table, bool grr3) {
 }
 
 Block Evaluator::eval(Block a, Block b, const GarbledTable& table) {
-  Block w;
-  switch (scheme_) {
-    case Scheme::HalfGates: w = eval_half_gates(a, b, table); break;
-    case Scheme::Grr3: w = eval_classic(a, b, table, /*grr3=*/true); break;
-    case Scheme::Classic4: w = eval_classic(a, b, table, /*grr3=*/false); break;
-    default: throw std::logic_error("evaluator: unknown scheme");
-  }
+  const std::uint64_t j0 = tweak_;
+  tweak_ += 2;
   ++gate_counter_;
-  return w;
+  return eval_at(a, b, table, j0);
 }
 
-Block Evaluator::eval_half_gates(Block a, Block b, const GarbledTable& table) {
-  const std::uint64_t j0 = tweak_++;
-  const std::uint64_t j1 = tweak_++;
+Block Evaluator::eval_at(Block a, Block b, const GarbledTable& table, std::uint64_t tweak) const {
+  switch (scheme_) {
+    case Scheme::HalfGates: return eval_half_gates(a, b, tweak, table);
+    case Scheme::Grr3: return eval_classic(a, b, tweak, table, /*grr3=*/true);
+    case Scheme::Classic4: return eval_classic(a, b, tweak, table, /*grr3=*/false);
+    default: throw std::logic_error("evaluator: unknown scheme");
+  }
+}
+
+Block Evaluator::eval_half_gates(Block a, Block b, std::uint64_t j0,
+                                 const GarbledTable& table) const {
+  const std::uint64_t j1 = j0 + 1;
   const Block tg = table.rows[0];
   const Block te = table.rows[1];
   const Block in[2] = {a, b};
@@ -130,9 +143,9 @@ Block Evaluator::eval_half_gates(Block a, Block b, const GarbledTable& table) {
   return wg ^ we;
 }
 
-Block Evaluator::eval_classic(Block a, Block b, const GarbledTable& table, bool grr3) {
-  const std::uint64_t j0 = tweak_++;
-  const std::uint64_t j1 = tweak_++;
+Block Evaluator::eval_classic(Block a, Block b, std::uint64_t j0, const GarbledTable& table,
+                              bool grr3) const {
+  const std::uint64_t j1 = j0 + 1;
   const int slot = (static_cast<int>(a.lsb()) << 1) | static_cast<int>(b.lsb());
   const Block in[2] = {a, b};
   const std::uint64_t tw[2] = {j0, j1};

@@ -58,11 +58,40 @@ class Garbler {
   /// evaluator via the shared gate counter).
   Block garble(Block a0, Block b0, netlist::AndCore core, GarbledTable& table);
 
+  /// Stateless garbling at an explicit tweak (uses `tweak` and `tweak + 1`):
+  /// bit-identical to garble() fed the same tweaks, but const, so
+  /// independent cones garble concurrently against preassigned tweak
+  /// ranges. `classic_fresh` supplies the fresh output label Classic4 needs
+  /// (derived_label; ignored by the row-reduced schemes). The caller
+  /// advances the shared cursors once per cycle via advance().
+  Block garble_at(Block a0, Block b0, netlist::AndCore core, std::uint64_t tweak,
+                  Block classic_fresh, GarbledTable& table) const;
+
+  /// Label addressed by (domain, ordinal) from the session seed — the
+  /// deterministic-under-parallelism replacement for a fresh_label() draw
+  /// whose stream position would depend on worker interleaving. Disjoint
+  /// from the fresh_label() stream by construction (crypto::CtrRng::derive).
+  [[nodiscard]] Block derived_label(std::uint64_t domain, std::uint64_t ordinal) const {
+    return rng_.derive(domain, ordinal);
+  }
+
+  /// Advances the gate counter and tweak cursor past `gates` garbled gates
+  /// (2 tweaks each) handled out-of-band through garble_at().
+  void advance(std::uint64_t gates) {
+    gate_counter_ += gates;
+    tweak_ += 2 * gates;
+  }
+
+  /// The next tweak garble() would consume — the base the per-cone tweak
+  /// ranges of a cycle are laid out from.
+  [[nodiscard]] std::uint64_t tweak_cursor() const { return tweak_; }
+
   [[nodiscard]] std::uint64_t gates_garbled() const { return gate_counter_; }
 
  private:
-  Block half_gates(Block a0, Block b0, GarbledTable& table);
-  Block classic(Block a0, Block b0, GarbledTable& table, bool grr3);
+  Block half_gates(Block a0, Block b0, std::uint64_t j0, GarbledTable& table) const;
+  Block classic(Block a0, Block b0, std::uint64_t j0, Block w0_fresh, GarbledTable& table,
+                bool grr3) const;
 
   crypto::PiHash hash_;
   crypto::CtrRng rng_;
@@ -80,11 +109,27 @@ class Evaluator {
   /// Evaluates one garbled gate given the active input labels.
   Block eval(Block a, Block b, const GarbledTable& table);
 
+  /// Stateless evaluation at an explicit tweak (uses `tweak` and `tweak + 1`)
+  /// — the evaluator-side mirror of Garbler::garble_at, for cones evaluated
+  /// concurrently against preassigned tweak ranges.
+  Block eval_at(Block a, Block b, const GarbledTable& table, std::uint64_t tweak) const;
+
+  /// Advances the gate counter and tweak cursor past `gates` gates handled
+  /// out-of-band through eval_at().
+  void advance(std::uint64_t gates) {
+    gate_counter_ += gates;
+    tweak_ += 2 * gates;
+  }
+
+  /// The next tweak eval() would consume.
+  [[nodiscard]] std::uint64_t tweak_cursor() const { return tweak_; }
+
   [[nodiscard]] std::uint64_t gates_evaluated() const { return gate_counter_; }
 
  private:
-  Block eval_half_gates(Block a, Block b, const GarbledTable& table);
-  Block eval_classic(Block a, Block b, const GarbledTable& table, bool grr3);
+  Block eval_half_gates(Block a, Block b, std::uint64_t j0, const GarbledTable& table) const;
+  Block eval_classic(Block a, Block b, std::uint64_t j0, const GarbledTable& table,
+                     bool grr3) const;
 
   crypto::PiHash hash_;
   Scheme scheme_;

@@ -1,0 +1,13 @@
+// Fixture: evaluator TU; owns lb_ and must never name garbler secrets.
+#include "core/plan.h"
+#include "gc/transport.h"
+namespace fix::core {
+class EvaluatorSession {
+ public:
+  void run();
+ private:
+  gc::Transport* tx_ = nullptr;
+  crypto::Block lb_[2];
+};
+void EvaluatorSession::run() { (void)tx_; }
+}  // namespace fix::core

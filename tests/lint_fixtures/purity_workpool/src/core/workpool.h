@@ -1,0 +1,16 @@
+// Fixture: worker pool that grows a transport dependency. plan.cpp includes
+// this header, so the serialization boundary leaks into the planner's
+// include closure — the purity rule must attribute the finding HERE, not to
+// the planner file that (legitimately) includes the pool.
+#pragma once
+#include "gc/transport.h"
+namespace fix::core {
+class WorkPool {
+ public:
+  explicit WorkPool(unsigned threads) : threads_(threads) {}
+  unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_ = 1;
+};
+}  // namespace fix::core

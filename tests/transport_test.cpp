@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -98,6 +99,51 @@ TEST(ThreadedPipeDuplex, BidirectionalEcho) {
               block_from_u64((static_cast<std::uint64_t>(i) << 1) | 1));
   }
   peer.join();
+}
+
+TEST(ThreadedPipeDuplex, StressOrderedWriterAgainstPooledReader) {
+  // The parallel-session shape: one producer thread plays the garbler's
+  // ordered writer (bursty per-cone sends, sizes varying per "slice"), while
+  // the consumer pulls exact per-gate frames and hands them to short-lived
+  // worker threads for checking — receive order on the transport stays the
+  // single-threaded slice order even with workers racing around it. Run
+  // under TSan in CI.
+  constexpr std::size_t kSlices = 300;
+  ThreadedPipeDuplex duplex(128);
+  std::thread producer([&] {
+    std::uint64_t next = 0;
+    for (std::size_t s = 0; s < kSlices; ++s) {
+      const std::size_t tables = s % 7 + 1;
+      for (std::size_t t = 0; t < tables; ++t) {
+        Block frame[3];
+        for (std::uint64_t k = 0; k < 3; ++k) frame[k] = block_from_u64(next++);
+        duplex.garbler_end().send(frame, 3, Traffic::GarbledTable);
+      }
+    }
+  });
+  std::uint64_t expect = 0;
+  std::vector<std::thread> checkers;
+  std::atomic<int> mismatches{0};
+  for (std::size_t s = 0; s < kSlices; ++s) {
+    const std::size_t tables = s % 7 + 1;
+    std::vector<Block> staged(tables * 3);
+    duplex.evaluator_end().recv(staged.data(), staged.size());
+    const std::uint64_t base = expect;
+    expect += tables * 3;
+    checkers.emplace_back([&mismatches, staged = std::move(staged), base] {
+      for (std::size_t i = 0; i < staged.size(); ++i) {
+        if (staged[i] != block_from_u64(base + i)) mismatches.fetch_add(1);
+      }
+    });
+    if (checkers.size() >= 8) {
+      for (auto& c : checkers) c.join();
+      checkers.clear();
+    }
+  }
+  for (auto& c : checkers) c.join();
+  producer.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(duplex.stats().garbled_table_bytes, expect * 16);
 }
 
 TEST(ThreadedPipeDuplex, CloseUnblocksReceiverAndSender) {
