@@ -304,5 +304,74 @@ int main(int argc, char** argv) {
                       "multi-core record, including the warm Hamming-160 threads=4 speedup."));
     }
   }
+  benchutil::header("Ablation 8: precomputed OT (online-path bytes and wall, Hamming 160)");
+  {
+    // The online/offline OT split across all three backends: ideal and IKNP
+    // pay every OT byte on the critical path; the precomputed pool banks
+    // random OTs through bulk IKNP refills (offline) and serves the online
+    // choices as derandomization frames — ~34 B/choice amortized against
+    // IKNP's ~192 B floor at streaming batch sizes, with outputs and table
+    // digests pinned bit-identical in tests/otpre_test.cpp.
+    const programs::Program p = programs::hamming(5);
+    std::vector<std::uint32_t> a(5), b(5);
+    for (auto& w : a) w = static_cast<std::uint32_t>(rng.next_u64());
+    for (auto& w : b) w = static_cast<std::uint32_t>(rng.next_u64());
+    const arm::Arm2Gc machine(p.cfg, p.words);
+
+    for (const auto backend :
+         {gc::OtBackend::Ideal, gc::OtBackend::Iknp, gc::OtBackend::Precomp}) {
+      core::ExecOptions exec;
+      exec.ot_backend = backend;
+      arm::Arm2GcResult last;
+      const double cold_ms = best_wall_ms(
+          3, [&] { last = machine.run(a, b, 1u << 20, gc::Scheme::HalfGates, exec); });
+      const char* name = backend == gc::OtBackend::Ideal
+                             ? "ideal"
+                             : (backend == gc::OtBackend::Iknp ? "iknp" : "precomp");
+      std::printf(
+          "%-8s cold %7.2f ms   online ot %6.3f ms / %9s B   offline ot %6.3f ms / %9s B\n",
+          name, cold_ms, static_cast<double>(last.stats.ot_wall_ns) * 1e-6,
+          num(last.stats.ot_online_bytes).c_str(),
+          static_cast<double>(last.stats.ot_offline_wall_ns) * 1e-6,
+          num(last.stats.comm.ot_bytes - last.stats.ot_online_bytes).c_str());
+      if (benchutil::json().enabled()) {
+        const std::string pre = std::string("hamming160.ot_") + name;
+        benchutil::json().add(pre + "_online_bytes", last.stats.ot_online_bytes);
+        benchutil::json().add(pre + "_online_ms",
+                              static_cast<double>(last.stats.ot_wall_ns) * 1e-6);
+        benchutil::json().add(pre + "_offline_bytes",
+                              last.stats.comm.ot_bytes - last.stats.ot_online_bytes);
+        benchutil::json().add(pre + "_offline_ms",
+                              static_cast<double>(last.stats.ot_offline_wall_ns) * 1e-6);
+      }
+    }
+
+    // Warm precomp session: the base phase and the bulk refill are first-run
+    // costs; later runs derandomize from the banked pool and pay zero
+    // offline wall (until the maintenance schedule tops the pool up again).
+    core::ExecOptions pre;
+    pre.ot_backend = gc::OtBackend::Precomp;
+    arm::Arm2Gc::Session session(machine, pre);
+    arm::Arm2GcResult first = session.run(a, b);
+    arm::Arm2GcResult warm;
+    const double warm_ms = best_wall_ms(5, [&] { warm = session.run(a, b); });
+    std::printf(
+        "precomp  warm session %7.2f ms   online ot %6.3f ms / %9s B   (offline first run "
+        "%6.3f ms, then %6.3f ms)\n",
+        warm_ms, static_cast<double>(warm.stats.ot_wall_ns) * 1e-6,
+        num(warm.stats.ot_online_bytes).c_str(),
+        static_cast<double>(first.stats.ot_offline_wall_ns) * 1e-6,
+        static_cast<double>(warm.stats.ot_offline_wall_ns) * 1e-6);
+    if (benchutil::json().enabled()) {
+      benchutil::json().add("hamming160.ot_precomp_warm_session_ms", warm_ms);
+      benchutil::json().add("hamming160.ot_precomp_warm_online_ms",
+                            static_cast<double>(warm.stats.ot_wall_ns) * 1e-6);
+      benchutil::json().add("hamming160.ot_precomp_warm_online_bytes",
+                            warm.stats.ot_online_bytes);
+      benchutil::json().add("hamming160.ot_precomp_warm_offline_ms",
+                            static_cast<double>(warm.stats.ot_offline_wall_ns) * 1e-6);
+    }
+  }
+
   return benchutil::finish();
 }

@@ -25,6 +25,7 @@
 #include "crypto/transpose.h"
 #include "gc/garble.h"
 #include "gc/otext.h"
+#include "gc/otpre.h"
 #include "gc/transport.h"
 #include "programs/programs.h"
 
@@ -255,6 +256,51 @@ BENCHMARK(BM_OtExtension)
     ->Args({1, 4096})
     ->Args({1, 1});
 
+/// Online cost of the precomputed backend (gc/otpre.h): pure
+/// derandomization against a banked random-OT pool. Refills run outside the
+/// timed region (paused, as the maintenance schedule runs them during
+/// evaluator idle time), so this measures exactly the per-batch critical
+/// path that BM_OtExtension pays in full. arg0: batch size.
+static void BM_OtDerandomize(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  gc::InMemoryDuplex duplex;
+  const crypto::Block seed = crypto::block_from_u64(23);
+  gc::RandomOtPoolSender spool(seed, 1u << 15);
+  gc::RandomOtPoolReceiver rpool(seed, 1u << 15);
+  auto sender =
+      gc::make_ot_sender(gc::OtBackend::Precomp, duplex.garbler_end(), seed, nullptr, &spool);
+  auto receiver =
+      gc::make_ot_receiver(gc::OtBackend::Precomp, duplex.evaluator_end(), seed, nullptr, &rpool);
+  gc::Garbler g(crypto::block_from_u64(29));
+  std::vector<crypto::Block> x0(m), got(m);
+  for (auto& b : x0) b = g.fresh_label();
+  std::uint64_t pattern = 0x5DEECE66D;
+  for (auto _ : state) {
+    if (spool.available() < m || spool.available() < spool.low_water()) {
+      state.PauseTiming();
+      receiver->maintain_request();
+      sender->maintain();
+      receiver->maintain_finish();
+      state.ResumeTiming();
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      receiver->enqueue(((pattern >> (j % 61)) & 1u) != 0, &got[j]);
+    }
+    receiver->request();
+    for (std::size_t j = 0; j < m; ++j) sender->enqueue(x0[j], x0[j] ^ g.R());
+    sender->flush();
+    receiver->finish();
+    benchmark::DoNotOptimize(got.data());
+    pattern = pattern * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  state.SetLabel("precomp");
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+  state.counters["online_bytes_per_ot"] = benchmark::Counter(
+      static_cast<double>(sender->stats().online_bytes) /
+      static_cast<double>(sender->stats().choices ? sender->stats().choices : 1));
+}
+BENCHMARK(BM_OtDerandomize)->Arg(1)->Arg(8)->Arg(160)->Arg(4096);
+
 /// End-to-end protocol throughput on a 32x32 multiplier, per mode.
 static void BM_ProtocolMul32(benchmark::State& state) {
   builder::CircuitBuilder cb;
@@ -334,31 +380,47 @@ BENCHMARK(BM_ProtocolArmHamming160)
     ->Unit(benchmark::kMillisecond);
 
 /// OT-phase cost of a full ARM2GC run (Hamming-160, cold): wall time spent
-/// inside OT batches and true framed OT bytes, per backend.
-/// arg0: 0 = ideal stand-in, 1 = IKNP extension.
+/// inside OT batches and true framed OT bytes, per backend, with the
+/// online/offline split (identical to comm.ot_bytes except under precomp,
+/// where the pool refills move off the online path).
+/// arg0: 0 = ideal stand-in, 1 = IKNP extension, 2 = precomputed pool.
 static void BM_ProtocolArmHamming160OtPhase(benchmark::State& state) {
   const programs::Program prog = programs::hamming(5);
   const arm::Arm2Gc machine(prog.cfg, prog.words);
   core::ExecOptions exec;
-  exec.ot_backend = state.range(0) == 0 ? gc::OtBackend::Ideal : gc::OtBackend::Iknp;
+  exec.ot_backend = state.range(0) == 0   ? gc::OtBackend::Ideal
+                    : state.range(0) == 1 ? gc::OtBackend::Iknp
+                                          : gc::OtBackend::Precomp;
   const std::vector<std::uint32_t> a = {1, 2, 3, 4, 5};
   const std::vector<std::uint32_t> b = {6, 7, 8, 9, 10};
   std::uint64_t ot_ns = 0;
+  std::uint64_t ot_offline_ns = 0;
   std::uint64_t ot_bytes = 0;
+  std::uint64_t online_bytes = 0;
   std::uint64_t choices = 0;
   for (auto _ : state) {
     const arm::Arm2GcResult r = machine.run(a, b, 1u << 20, gc::Scheme::HalfGates, exec);
     benchmark::DoNotOptimize(r.outputs.data());
     ot_ns = r.stats.ot_wall_ns;
+    ot_offline_ns = r.stats.ot_offline_wall_ns;
     ot_bytes = r.stats.comm.ot_bytes;
+    online_bytes = r.stats.ot_online_bytes;
     choices = r.stats.ot_choices;
   }
-  state.SetLabel(state.range(0) == 0 ? "ot=ideal" : "ot=iknp");
+  state.SetLabel(state.range(0) == 0   ? "ot=ideal"
+                 : state.range(0) == 1 ? "ot=iknp"
+                                       : "ot=precomp");
   state.counters["ot_ms"] = static_cast<double>(ot_ns) * 1e-6;
+  state.counters["ot_offline_ms"] = static_cast<double>(ot_offline_ns) * 1e-6;
   state.counters["ot_bytes"] = static_cast<double>(ot_bytes);
+  state.counters["ot_online_bytes"] = static_cast<double>(online_bytes);
   state.counters["ot_choices"] = static_cast<double>(choices);
 }
-BENCHMARK(BM_ProtocolArmHamming160OtPhase)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProtocolArmHamming160OtPhase)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 /// The serving scenario: one Arm2Gc::Session executes the same public
 /// program on fresh private inputs every iteration, so the per-party plan

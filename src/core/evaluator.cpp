@@ -19,13 +19,14 @@ using netlist::WireId;
 
 EvaluatorSession::EvaluatorSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme,
                                    Block seed, gc::Transport& tx, gc::OtBackend ot_backend,
-                                   gc::IknpReceiverState* warm_ot, WorkPool* pool)
+                                   gc::IknpReceiverState* warm_ot, WorkPool* pool,
+                                   gc::RandomOtPoolReceiver* warm_ot_pool, std::size_t ot_pool)
     : nl_(nl),
       mode_(mode),
       scheme_(scheme),
       eval_(scheme),
       tx_(&tx),
-      ot_(gc::make_ot_receiver(ot_backend, tx, seed, warm_ot)),
+      ot_(gc::make_ot_receiver(ot_backend, tx, seed, warm_ot, warm_ot_pool, ot_pool)),
       pool_(pool),
       trace_(std::getenv("A2G_TRACE") != nullptr) {
   lb_.resize(nl_.num_wires());

@@ -39,7 +39,9 @@ class EvaluatorSession {
   /// byte-identical to the serial path.
   EvaluatorSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme, crypto::Block seed,
                    gc::Transport& tx, gc::OtBackend ot_backend = gc::OtBackend::Ideal,
-                   gc::IknpReceiverState* warm_ot = nullptr, WorkPool* pool = nullptr);
+                   gc::IknpReceiverState* warm_ot = nullptr, WorkPool* pool = nullptr,
+                   gc::RandomOtPoolReceiver* warm_ot_pool = nullptr,
+                   std::size_t ot_pool = gc::kDefaultOtPoolBatch);
 
   /// Queues OT choices for Bob's fixed inputs and flip-flop initial values
   /// and emits the receiver-side OT request. Must run before the garbler's
@@ -68,6 +70,11 @@ class EvaluatorSession {
 
   /// Carries flip-flop labels into the next cycle.
   void latch(const CyclePlan& plan);
+
+  /// OT maintenance between cycles (receiver-first halves of the schedule's
+  /// ot_refill slot): Precomp pool top-up, no-ops otherwise.
+  void ot_maintain_request() { ot_->maintain_request(); }
+  void ot_maintain_finish() { ot_->maintain_finish(); }
 
   /// OT-phase counters of this session's receiver endpoint.
   [[nodiscard]] const gc::OtPhaseStats& ot_stats() const { return ot_->stats(); }

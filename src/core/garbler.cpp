@@ -20,12 +20,13 @@ Block maybe(Block b, bool take) { return take ? b : kZeroBlock; }
 
 GarblerSession::GarblerSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme,
                                Block seed, gc::Transport& tx, gc::OtBackend ot_backend,
-                               gc::IknpSenderState* warm_ot, WorkPool* pool)
+                               gc::IknpSenderState* warm_ot, WorkPool* pool,
+                               gc::RandomOtPoolSender* warm_ot_pool, std::size_t ot_pool)
     : nl_(nl),
       mode_(mode),
       garbler_(seed, scheme),
       tx_(&tx),
-      ot_(gc::make_ot_sender(ot_backend, tx, seed, warm_ot)),
+      ot_(gc::make_ot_sender(ot_backend, tx, seed, warm_ot, warm_ot_pool, ot_pool)),
       pool_(pool) {
   la_.resize(nl_.num_wires());
   const_la_[0] = const_la_[1] = Block{};

@@ -29,14 +29,18 @@ class WorkPool;
 class GarblerSession {
  public:
   /// `ot_backend` selects the OT endpoint; `warm_ot` (optional, IKNP only)
-  /// carries base-OT state across runs of one pairing. `pool` (optional)
-  /// garbles independent cone slices on its workers, staging each cone's
-  /// tables and draining them in slice order through a single ordered
-  /// writer — the framed byte stream, table digests and comm accounting are
-  /// byte-identical to the serial path.
+  /// carries base-OT state across runs of one pairing, `warm_ot_pool` is its
+  /// Precomp counterpart (the random-OT pool, which embeds its own base
+  /// state) and `ot_pool` sizes a fresh Precomp pool when no warm one is
+  /// handed in. `pool` (optional) garbles independent cone slices on its
+  /// workers, staging each cone's tables and draining them in slice order
+  /// through a single ordered writer — the framed byte stream, table digests
+  /// and comm accounting are byte-identical to the serial path.
   GarblerSession(const netlist::Netlist& nl, Mode mode, gc::Scheme scheme, crypto::Block seed,
                  gc::Transport& tx, gc::OtBackend ot_backend = gc::OtBackend::Ideal,
-                 gc::IknpSenderState* warm_ot = nullptr, WorkPool* pool = nullptr);
+                 gc::IknpSenderState* warm_ot = nullptr, WorkPool* pool = nullptr,
+                 gc::RandomOtPoolSender* warm_ot_pool = nullptr,
+                 std::size_t ot_pool = gc::kDefaultOtPoolBatch);
 
   /// Binds labels for constants (Conventional mode), fixed inputs and
   /// flip-flop initial values; sends the evaluator's labels (directly for
@@ -54,6 +58,10 @@ class GarblerSession {
 
   /// Carries flip-flop labels into the next cycle.
   void latch(const CyclePlan& plan);
+
+  /// OT maintenance between cycles (the schedule's ot_refill slot): lets the
+  /// Precomp backend top up its random-OT pool off the critical path.
+  void ot_maintain() { ot_->maintain(); }
 
   /// OT-phase counters of this session's sender endpoint.
   [[nodiscard]] const gc::OtPhaseStats& ot_stats() const { return ot_->stats(); }

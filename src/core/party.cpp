@@ -5,6 +5,7 @@
 #include "core/evaluator.h"
 #include "core/garbler.h"
 #include "core/workpool.h"
+#include "gc/otpre.h"
 
 namespace arm2gc::core {
 
@@ -65,6 +66,13 @@ WarmState* checked_warm(const netlist::Netlist& nl, const PartyOptions& opts, bo
     // reverse would silently drop warm state), so mismatches fail loudly.
     throw std::invalid_argument("party: WarmState OT backend differs from PartyOptions");
   }
+  if (warm != nullptr && opts.ot_backend == gc::OtBackend::Precomp &&
+      warm->ot_pool() != opts.ot_pool) {
+    // The refill schedule is a deterministic function of the pool target;
+    // running a pool built for one target under another would desync it
+    // from the peer mid-protocol instead of at construction.
+    throw std::invalid_argument("party: WarmState OT pool size differs from PartyOptions");
+  }
   return warm;
 }
 
@@ -106,10 +114,24 @@ WarmState::WarmState(Role role, const Options& opts)
     } else {
       ot_receiver_ = std::make_unique<gc::IknpReceiverState>(opts_.seed);
     }
+  } else if (opts_.ot_backend == gc::OtBackend::Precomp) {
+    // The pool embeds its own IKNP state, so one handle carries both the
+    // banked random OTs and the warm base-OT state across runs.
+    if (role_ == Role::Garbler) {
+      otpre_sender_ = std::make_unique<gc::RandomOtPoolSender>(opts_.seed, opts_.ot_pool);
+    } else {
+      otpre_receiver_ = std::make_unique<gc::RandomOtPoolReceiver>(opts_.seed, opts_.ot_pool);
+    }
   }
 }
 
 WarmState::~WarmState() = default;
+
+std::size_t WarmState::ot_pool_available() const {
+  if (otpre_sender_ != nullptr) return otpre_sender_->available();
+  if (otpre_receiver_ != nullptr) return otpre_receiver_->available();
+  return 0;
+}
 
 WorkPool* WarmState::pool(std::size_t threads) {
   if (pool_ == nullptr || pool_->threads() != threads) {
@@ -125,6 +147,15 @@ void WarmState::reset_ot() {
   if (ot_sender_ != nullptr) ot_sender_ = std::make_unique<gc::IknpSenderState>(opts_.seed);
   if (ot_receiver_ != nullptr) {
     ot_receiver_ = std::make_unique<gc::IknpReceiverState>(opts_.seed);
+  }
+  // Precomp: drop banked (possibly half-consumed) random OTs along with the
+  // embedded base state — the next run starts from an empty pool and
+  // re-bases inside its first refill.
+  if (otpre_sender_ != nullptr) {
+    otpre_sender_ = std::make_unique<gc::RandomOtPoolSender>(opts_.seed, opts_.ot_pool);
+  }
+  if (otpre_receiver_ != nullptr) {
+    otpre_receiver_ = std::make_unique<gc::RandomOtPoolReceiver>(opts_.seed, opts_.ot_pool);
   }
 }
 
@@ -145,8 +176,9 @@ GarblerEndpoint::GarblerEndpoint(const netlist::Netlist& nl, const PartyOptions&
                                      warm ? &warm->cone_memo_ : nullptr, pool_)),
       session_(std::make_unique<GarblerSession>(nl, opts.mode, opts.scheme, opts.own_seed(), tx,
                                                 opts.ot_backend,
-                                                warm ? warm->ot_sender_.get() : nullptr,
-                                                pool_)) {}
+                                                warm ? warm->ot_sender_.get() : nullptr, pool_,
+                                                warm ? warm->otpre_sender_.get() : nullptr,
+                                                opts.ot_pool)) {}
 
 GarblerEndpoint::~GarblerEndpoint() = default;
 
@@ -193,6 +225,8 @@ void GarblerEndpoint::latch() {
   session_->latch(plan_);
 }
 
+void GarblerEndpoint::ot_refill() { session_->ot_maintain(); }
+
 RunResult GarblerEndpoint::finish() {
   // The protocol is over; a buffering transport may still hold our last
   // sends (e.g. final tables the peer has yet to evaluate) and no own-recv
@@ -211,6 +245,8 @@ RunResult GarblerEndpoint::finish() {
   stats_.ot_batches += o.batches;
   stats_.ot_base_ots += o.base_ots;
   stats_.ot_wall_ns += o.wall_ns;
+  stats_.ot_offline_wall_ns += o.offline_wall_ns;
+  stats_.ot_online_bytes += o.online_bytes;
   stats_.table_digest = session_->table_digest();
   result_.stats = stats_;
   if (!result_.sampled_outputs.empty()) result_.final_outputs = result_.sampled_outputs.back();
@@ -231,6 +267,7 @@ RunResult GarblerEndpoint::run(const netlist::BitVec& alice_bits, const netlist:
       sample();
       if (is_final) break;
       latch();
+      ot_refill();
     }
     // finish() can still fail (its flush may find the peer gone), and a
     // failed flush desyncs warm OT state like any other abort.
@@ -260,7 +297,9 @@ EvaluatorEndpoint::EvaluatorEndpoint(const netlist::Netlist& nl, const PartyOpti
       session_(std::make_unique<EvaluatorSession>(nl, opts.mode, opts.scheme, opts.own_seed(),
                                                   tx, opts.ot_backend,
                                                   warm ? warm->ot_receiver_.get() : nullptr,
-                                                  pool_)) {}
+                                                  pool_,
+                                                  warm ? warm->otpre_receiver_.get() : nullptr,
+                                                  opts.ot_pool)) {}
 
 EvaluatorEndpoint::EvaluatorEndpoint(const netlist::Netlist& nl, const PartyOptions& opts,
                                      gc::Transport& tx, WarmState* warm,
@@ -276,7 +315,9 @@ EvaluatorEndpoint::EvaluatorEndpoint(const netlist::Netlist& nl, const PartyOpti
       session_(std::make_unique<EvaluatorSession>(nl, opts.mode, opts.scheme, opts.own_seed(),
                                                   tx, opts.ot_backend,
                                                   warm ? warm->ot_receiver_.get() : nullptr,
-                                                  pool_)) {
+                                                  pool_,
+                                                  warm ? warm->otpre_receiver_.get() : nullptr,
+                                                  opts.ot_pool)) {
   if (&leader.nl_ != &nl) {
     throw std::invalid_argument("party: plan-following evaluator bound to a different netlist");
   }
@@ -349,6 +390,10 @@ void EvaluatorEndpoint::latch() {
   session_->latch(plan_);
 }
 
+void EvaluatorEndpoint::ot_refill_request() { session_->ot_maintain_request(); }
+
+void EvaluatorEndpoint::ot_refill_finish() { session_->ot_maintain_finish(); }
+
 RunResult EvaluatorEndpoint::finish() {
   // The final cycle's output labels are the evaluator's last sends; flush
   // them or a buffering transport leaves the garbler's decode waiting.
@@ -366,6 +411,8 @@ RunResult EvaluatorEndpoint::finish() {
   stats_.ot_batches += o.batches;
   stats_.ot_base_ots += o.base_ots;
   stats_.ot_wall_ns += o.wall_ns;
+  stats_.ot_offline_wall_ns += o.offline_wall_ns;
+  stats_.ot_online_bytes += o.online_bytes;
   stats_.table_digest = session_->table_digest();
   result_.stats = stats_;
   return std::move(result_);
@@ -387,6 +434,8 @@ RunResult EvaluatorEndpoint::run(const netlist::BitVec& bob_bits, const netlist:
       sample();
       if (is_final) break;
       latch();
+      ot_refill_request();
+      ot_refill_finish();
     }
     return finish();  // the final flush can fail too; see GarblerEndpoint::run
   } catch (...) {

@@ -89,7 +89,13 @@ struct RunStats {
   std::uint64_t ot_choices = 0;
   std::uint64_t ot_batches = 0;
   std::uint64_t ot_base_ots = 0;  ///< base OTs run this execution (0 when warm)
+  /// Online/offline OT split: ot_wall_ns and ot_online_bytes cover the
+  /// per-batch critical path (for Ideal/Iknp that is every OT byte);
+  /// ot_offline_wall_ns is pool precomputation/refill time, nonzero only
+  /// under OtBackend::Precomp.
   std::uint64_t ot_wall_ns = 0;
+  std::uint64_t ot_offline_wall_ns = 0;
+  std::uint64_t ot_online_bytes = 0;
   /// Running gf_double-mix digest of every garbled-table block this party
   /// sent (garbler) or received (evaluator) — gc/golden_digest.h
   /// construction. The two sides fold the same byte stream, so the digests
@@ -172,6 +178,10 @@ struct PartyOptions {
   std::size_t cone_target_gates = 512;
   /// OT backend for Bob's input labels (gc/otext.h); must match the peer.
   gc::OtBackend ot_backend = gc::OtBackend::Ideal;
+  /// Precomp pool refill batch size (random OTs generated per refill). The
+  /// refill schedule is derived deterministically from it, so it must match
+  /// the peer; ignored by the other backends.
+  std::size_t ot_pool = gc::kDefaultOtPoolBatch;
   /// Worker threads for garbling/evaluation and the planner's per-cone
   /// classification (0 = one per hardware thread). Purely local execution
   /// tuning: the framed byte stream, table digests, comm accounting and
@@ -199,8 +209,11 @@ class WarmState {
   struct Options {
     std::size_t plan_cache_budget_bytes = 64u << 20;
     std::size_t cone_memo_budget_bytes = 32u << 20;
-    /// Iknp allocates the role's extension state; Ideal keeps none.
+    /// Iknp allocates the role's extension state; Precomp the role's
+    /// random-OT pool (which embeds its own extension state); Ideal none.
     gc::OtBackend ot_backend = gc::OtBackend::Ideal;
+    /// Precomp pool refill batch size; must equal PartyOptions::ot_pool.
+    std::size_t ot_pool = gc::kDefaultOtPoolBatch;
     /// The party's private seed for the OT state (domain-separated inside).
     crypto::Block seed = kDefaultProtocolSeed;
   };
@@ -211,11 +224,15 @@ class WarmState {
 
   [[nodiscard]] Role role() const { return role_; }
   [[nodiscard]] gc::OtBackend ot_backend() const { return opts_.ot_backend; }
+  [[nodiscard]] std::size_t ot_pool() const { return opts_.ot_pool; }
   [[nodiscard]] const PlanCache& plan_cache() const { return plan_cache_; }
   [[nodiscard]] const ConeMemo& cone_memo() const { return cone_memo_; }
   [[nodiscard]] bool has_ot_state() const {
-    return ot_sender_ != nullptr || ot_receiver_ != nullptr;
+    return ot_sender_ != nullptr || ot_receiver_ != nullptr || otpre_sender_ != nullptr ||
+           otpre_receiver_ != nullptr;
   }
+  /// Precomp only: random OTs banked and not yet consumed (0 otherwise).
+  [[nodiscard]] std::size_t ot_pool_available() const;
 
   /// Discards the warm OT-extension state (the next run redoes the kappa
   /// base OTs; plan caches are untouched). Called by endpoints on protocol
@@ -236,9 +253,11 @@ class WarmState {
   Options opts_;
   PlanCache plan_cache_;
   ConeMemo cone_memo_;
-  std::unique_ptr<gc::IknpSenderState> ot_sender_;      ///< Role::Garbler only
-  std::unique_ptr<gc::IknpReceiverState> ot_receiver_;  ///< Role::Evaluator only
-  std::unique_ptr<WorkPool> pool_;                      ///< built by pool()
+  std::unique_ptr<gc::IknpSenderState> ot_sender_;        ///< Garbler, Iknp backend
+  std::unique_ptr<gc::IknpReceiverState> ot_receiver_;    ///< Evaluator, Iknp backend
+  std::unique_ptr<gc::RandomOtPoolSender> otpre_sender_;  ///< Garbler, Precomp backend
+  std::unique_ptr<gc::RandomOtPoolReceiver> otpre_receiver_;  ///< Evaluator, Precomp
+  std::unique_ptr<WorkPool> pool_;                            ///< built by pool()
 };
 
 // The two endpoints share one stepwise schedule; the hook split exists so
@@ -253,7 +272,17 @@ class WarmState {
 //     G.work  ->  E.work            (each returns is_final; they must agree)
 //     E.sample  ->  G.sample
 //     G.latch, E.latch              (order irrelevant)
+//     E.ot_refill_request  ->  G.ot_refill  ->  E.ot_refill_finish
 //   G.finish / E.finish
+//
+// The ot_refill_* hooks are the OT maintenance slot: under OtBackend::Precomp
+// they top the random-OT pool back up (one bulk IKNP batch) whenever it falls
+// below its low-water mark, so the precompute work runs between cycles — in
+// the window where the evaluator otherwise idles waiting for the next
+// cycle's tables — instead of stalling an online derandomization batch.
+// No-ops under Ideal/Iknp. Both sides derive the refill decision from the
+// shared pool fill level, so the hooks must stay in the schedule for every
+// backend and transport (run() includes them).
 //
 // Any abort (exception out of a hook or out of run()) must be followed by
 // abort(), which resets the warm OT state; run() does this itself.
@@ -282,6 +311,7 @@ class GarblerEndpoint {
   [[nodiscard]] bool work(std::uint64_t cycle);  ///< plans + garbles; true = final cycle
   void sample();
   void latch();
+  void ot_refill();  ///< OT maintenance slot (Precomp pool top-up; else no-op)
   [[nodiscard]] RunResult finish();
   /// Resets the warm OT state after a failed run (idempotent, noexcept).
   void abort() noexcept;
@@ -357,6 +387,8 @@ class EvaluatorEndpoint {
   [[nodiscard]] bool work(std::uint64_t cycle);  ///< plans + evaluates; true = final cycle
   void sample();
   void latch();
+  void ot_refill_request();  ///< OT maintenance slot, receiver-first halves
+  void ot_refill_finish();
   [[nodiscard]] RunResult finish();
   void abort() noexcept;
 

@@ -48,6 +48,13 @@ RunResult run_lockstep(const Netlist& nl, const RunOptions& opts, const BitVec& 
       if (final_g) break;
       garbler.latch();
       evaluator.latch();
+      // OT maintenance slot (receiver-first, like the binding phases): lets
+      // the Precomp backend top up its random-OT pool between cycles. No-ops
+      // under Ideal/Iknp, but the slot stays in the schedule unconditionally
+      // so every backend sees the same cross-party ordering.
+      evaluator.ot_refill_request();
+      garbler.ot_refill();
+      evaluator.ot_refill_finish();
     }
   } catch (...) {
     garbler.abort();
@@ -55,7 +62,9 @@ RunResult run_lockstep(const Netlist& nl, const RunOptions& opts, const BitVec& 
     throw;
   }
   RunResult result = garbler.finish();
-  result.stats.ot_wall_ns += evaluator.finish().stats.ot_wall_ns;
+  const RunStats eval_stats = evaluator.finish().stats;
+  result.stats.ot_wall_ns += eval_stats.ot_wall_ns;
+  result.stats.ot_offline_wall_ns += eval_stats.ot_offline_wall_ns;
   result.stats.comm = duplex.stats();
   result.stats.transport_high_water_blocks = duplex.high_water_blocks();
   return result;
@@ -143,6 +152,7 @@ PartyOptions party_options(Role role, const RunOptions& opts) {
   p.cone_memo_budget_bytes = opts.exec.cone_memo_budget_bytes;
   p.cone_target_gates = opts.exec.cone_target_gates;
   p.ot_backend = opts.exec.ot_backend;
+  p.ot_pool = opts.exec.ot_pool;
   p.threads = opts.exec.threads;
   return p;
 }

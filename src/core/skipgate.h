@@ -59,6 +59,10 @@ struct ExecOptions {
   /// non-OT byte count are bit-identical across backends; only OT traffic
   /// and timing differ.
   gc::OtBackend ot_backend = gc::OtBackend::Ideal;
+  /// Precomp random-OT pool target per refill (gc/otpre.h). Public: the
+  /// refill schedule is a deterministic function of it, so both parties must
+  /// use the same value. Ignored by the other backends.
+  std::size_t ot_pool = gc::kDefaultOtPoolBatch;
   /// Worker threads per party for garbling/evaluation and per-cone plan
   /// classification (core/workpool.h; 0 = one per hardware thread). Like
   /// every ExecOptions field this never changes results: the ordered

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "crypto/transpose.h"
+#include "gc/otpre.h"
 
 namespace arm2gc::gc {
 
@@ -70,6 +71,7 @@ class IdealOtSender final : public OtSender {
     tx_->send(pend_.data(), pend_.size(), Traffic::Ot);
     stats_.choices += pend_.size() / 2;
     stats_.batches++;
+    stats_.online_bytes += 16 * pend_.size();
     pend_.clear();
     stats_.wall_ns += now_ns() - t0;
   }
@@ -97,6 +99,7 @@ class IdealOtReceiver final : public OtReceiver {
     }
     stats_.choices += pend_.size();
     stats_.batches++;
+    stats_.online_bytes += 16 * pairs_.size();
     pend_.clear();
     stats_.wall_ns += now_ns() - t0;
   }
@@ -229,6 +232,10 @@ class IknpOtSender final : public OtSender {
     st.batches_++;
     stats_.choices += m;
     stats_.batches++;
+    // IKNP sits entirely on the online path: header + check + columns +
+    // ciphertexts, plus the base exchange on a fresh pairing.
+    stats_.online_bytes +=
+        16 * (2 + col_blocks + 2 * m + (peer_fresh ? 1 + 2 * kOtKappa : 0));
     pend_.clear();
     stats_.wall_ns += now_ns() - t0;
   }
@@ -314,6 +321,7 @@ class IknpOtReceiver final : public OtReceiver {
       frame_[b] = Block::from_bytes(u_bytes_.data() + 16 * b);
     }
     tx_->send(frame_.data(), col_blocks, Traffic::Ot);
+    stats_.online_bytes += 16 * (2 + col_blocks + (fresh ? 1 + 2 * kOtKappa : 0));
     stats_.wall_ns += now_ns() - t0;
   }
 
@@ -353,6 +361,7 @@ class IknpOtReceiver final : public OtReceiver {
     st.batches_++;
     stats_.choices += m;
     stats_.batches++;
+    stats_.online_bytes += 16 * ct_.size();
     pend_.clear();
     stats_.wall_ns += now_ns() - t0;
   }
@@ -400,7 +409,11 @@ class IknpOtReceiver final : public OtReceiver {
 };
 
 std::unique_ptr<OtSender> make_ot_sender(OtBackend backend, Transport& tx, Block seed,
-                                         IknpSenderState* warm) {
+                                         IknpSenderState* warm, RandomOtPoolSender* warm_pool,
+                                         std::size_t pool_target) {
+  if (backend == OtBackend::Precomp) {
+    return make_precomp_ot_sender(tx, seed, warm_pool, pool_target);
+  }
   if (backend == OtBackend::Iknp) {
     return std::make_unique<IknpOtSender>(tx, seed, warm);
   }
@@ -408,7 +421,12 @@ std::unique_ptr<OtSender> make_ot_sender(OtBackend backend, Transport& tx, Block
 }
 
 std::unique_ptr<OtReceiver> make_ot_receiver(OtBackend backend, Transport& tx, Block seed,
-                                             IknpReceiverState* warm) {
+                                             IknpReceiverState* warm,
+                                             RandomOtPoolReceiver* warm_pool,
+                                             std::size_t pool_target) {
+  if (backend == OtBackend::Precomp) {
+    return make_precomp_ot_receiver(tx, seed, warm_pool, pool_target);
+  }
   if (backend == OtBackend::Iknp) {
     return std::make_unique<IknpOtReceiver>(tx, seed, warm);
   }

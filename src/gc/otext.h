@@ -13,6 +13,14 @@
 //                      and the correlation-robust hashing by the batched
 //                      fixed-key PiHash. Base OTs amortize across a warm
 //                      session via the Iknp*State objects.
+//   OtBackend::Precomp Beaver'95 precomputation on top of Iknp: random OTs
+//                      are bulk-generated in large well-amortized IKNP
+//                      batches into a role-scoped RandomOtPool (gc/otpre.h),
+//                      and each online choice is served by a short
+//                      derandomization frame instead of a kappa-column
+//                      exchange. The per-choice online cost drops from the
+//                      ~192 B IKNP floor to 32 B of masked pads plus an
+//                      amortized correction-bit block.
 //
 // Both backends deliver exactly x0 ^ b*R for choice b, so everything above
 // this interface — labels, garbled tables, outputs — is bit-identical across
@@ -62,15 +70,24 @@ namespace arm2gc::gc {
 /// IKNP security parameter: base-OT count and extension-matrix width.
 inline constexpr std::size_t kOtKappa = 128;
 
-enum class OtBackend : std::uint8_t { Ideal, Iknp };
+/// Default Precomp pool size: how many random OTs one refill batch
+/// generates. Both parties must agree (the refill schedule is derived from
+/// it); PartyOptions/ExecOptions carry it as `ot_pool`.
+inline constexpr std::size_t kDefaultOtPoolBatch = 1024;
+
+enum class OtBackend : std::uint8_t { Ideal, Iknp, Precomp };
 
 /// Counters every OT endpoint keeps; surfaced through RunStats and the
-/// bench OT-phase rows.
+/// bench OT-phase rows. `wall_ns`/`online_bytes` cover the online critical
+/// path only; pool precomputation and refills land in `offline_wall_ns`
+/// (always zero for Ideal/Iknp, whose every byte is online).
 struct OtPhaseStats {
-  std::uint64_t choices = 0;   ///< OTs completed
-  std::uint64_t batches = 0;   ///< non-empty batches flushed
-  std::uint64_t base_ots = 0;  ///< base OTs executed (0 on a warm session)
-  std::uint64_t wall_ns = 0;   ///< wall time inside OT phases
+  std::uint64_t choices = 0;          ///< OTs completed (online choices served)
+  std::uint64_t batches = 0;          ///< non-empty online batches flushed
+  std::uint64_t base_ots = 0;         ///< base OTs executed (0 on a warm session)
+  std::uint64_t wall_ns = 0;          ///< wall time inside online OT phases
+  std::uint64_t offline_wall_ns = 0;  ///< wall time precomputing/refilling pools
+  std::uint64_t online_bytes = 0;     ///< framed bytes on the online path
 };
 
 /// Byte-stream PRG over the AES-CTR generator: one IKNP column consumes its
@@ -161,15 +178,25 @@ class IknpReceiverState {
   std::vector<PrgStream> col1_;  ///< kappa streams, G(k_i^1)
 };
 
+// Role halves of the Precomp backend's random-OT pool (gc/otpre.h).
+class RandomOtPoolSender;
+class RandomOtPoolReceiver;
+
 /// Batched OT sender (Alice side): queue the label pairs for one protocol
 /// phase, then flush() runs the batch in queue order. flush() on an empty
-/// queue is free and exchanges nothing.
+/// queue is free and exchanges nothing. maintain() is the idle-time hook the
+/// stepwise schedule calls between cycles: backends with offline work (pool
+/// refills) top up there, off the per-batch critical path; for Ideal/Iknp it
+/// is a no-op. Both parties must call their maintain hooks at the same
+/// schedule points — the decision to refill is derived deterministically
+/// from the shared pool fill level, not announced on the wire.
 class OtSender {
  public:
   virtual ~OtSender() = default;
 
   virtual void enqueue(crypto::Block x0, crypto::Block x1) = 0;
   virtual void flush() = 0;
+  virtual void maintain() {}
 
   [[nodiscard]] const OtPhaseStats& stats() const { return stats_; }
 
@@ -180,7 +207,9 @@ class OtSender {
 /// Batched OT receiver (Bob side): queue (choice, destination) for one
 /// phase; request() emits the receiver-side message (IKNP columns) and must
 /// run before the peer's flush() in a lock-step schedule; finish() reads the
-/// response and fills every queued destination.
+/// response and fills every queued destination. maintain_request()/
+/// maintain_finish() bracket the sender's maintain() exactly as request()/
+/// finish() bracket flush(); no-ops for Ideal/Iknp.
 class OtReceiver {
  public:
   virtual ~OtReceiver() = default;
@@ -188,6 +217,8 @@ class OtReceiver {
   virtual void enqueue(bool choice, crypto::Block* out) = 0;
   virtual void request() = 0;
   virtual void finish() = 0;
+  virtual void maintain_request() {}
+  virtual void maintain_finish() {}
 
   [[nodiscard]] const OtPhaseStats& stats() const { return stats_; }
 
@@ -197,11 +228,18 @@ class OtReceiver {
 
 /// Constructs the backend's sender endpoint over `tx`. For Iknp, `warm`
 /// (optional) supplies cross-run state; when null the endpoint owns a fresh
-/// state derived from `seed`. Ideal ignores `seed`/`warm`.
+/// state derived from `seed`. For Precomp, `warm_pool` supplies the
+/// cross-run random-OT pool (which owns its own IKNP state; `warm` is
+/// ignored) and `pool_target` sizes a fresh pool when `warm_pool` is null.
+/// Ideal ignores everything but `tx`.
 std::unique_ptr<OtSender> make_ot_sender(OtBackend backend, Transport& tx, crypto::Block seed,
-                                         IknpSenderState* warm);
+                                         IknpSenderState* warm,
+                                         RandomOtPoolSender* warm_pool = nullptr,
+                                         std::size_t pool_target = kDefaultOtPoolBatch);
 
 std::unique_ptr<OtReceiver> make_ot_receiver(OtBackend backend, Transport& tx,
-                                             crypto::Block seed, IknpReceiverState* warm);
+                                             crypto::Block seed, IknpReceiverState* warm,
+                                             RandomOtPoolReceiver* warm_pool = nullptr,
+                                             std::size_t pool_target = kDefaultOtPoolBatch);
 
 }  // namespace arm2gc::gc

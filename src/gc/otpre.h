@@ -1,0 +1,129 @@
+// Beaver'95 precomputed OT: the OtBackend::Precomp layer behind the
+// OtSender/OtReceiver interfaces (gc/otext.h).
+//
+// The idea (catalogued in "Efficiency Optimizations on Yao's Garbled
+// Circuits", see PAPERS.md): generate *random* OTs in bulk offline — the
+// sender holds random pad pairs (p0, p1), the receiver a random choice r and
+// p_r — then serve each real choice b online by derandomization: the
+// receiver sends the correction bit c = b ^ r, the sender replies with
+//
+//   y_v = x_v ^ p_{v ^ c}   for v in {0, 1}   (2 blocks = 32 B per choice)
+//
+// and the receiver unmasks x_b = y_b ^ p_r (since b ^ c = r). The expensive
+// kappa-column IKNP exchange moves into large, well-amortized refill batches
+// that ride the *existing* IKNP endpoints (gc/otext.cpp) against the pool's
+// own embedded Iknp*State — base OTs, per-batch check blocks and the column
+// machinery are reused unchanged, and the pool states slot into WarmState
+// exactly where the bare Iknp states do for OtBackend::Iknp.
+//
+// Online derandomization frame, per batch of m choices (receiver first):
+//   receiver request():  [1 + extra blocks]  block0.lo = magic ^
+//                        (frame ordinal << 32) ^ (m << 1) ^ refill-flag,
+//                        block0.hi = correction bits c_0..c_63; correction
+//                        bits past 64 fill `extra` = ceil((m - 64) / 128)
+//                        whole blocks.
+//   sender   flush():    [2m masked-pad blocks]
+// so a streamed batch costs 16 * (1 + extra + 2m) online bytes: 48 B for a
+// single choice (4x under the 192 B IKNP floor) and 32 B + eps amortized.
+// When a batch finds the pool short, a refill (one IKNP batch of
+// max(target, m) random OTs) runs transparently *before* the derand frame,
+// on both sides — the decision is a deterministic function of the shared
+// pool fill level, never announced, and the refill-flag bit in the header
+// (like the ordinal and size) only serves to make a desynchronized pair
+// throw before any layout-dependent read. The maintain() hooks let the
+// endpoints' stepwise schedule top the pool back up between cycles, off the
+// per-batch critical path; refill traffic and wall time land in the
+// offline side of OtPhaseStats (offline_wall_ns), while wall_ns and
+// online_bytes track only the derandomization exchanges.
+//
+// Secrecy: the correction bit c = b ^ r is one-time-padded by the pool's
+// random r (each entry is consumed exactly once), and the pads mask the
+// label pairs, so the online frames leak nothing about choices or labels —
+// the transcript-privacy argument of the IKNP backend carries over.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/block.h"
+#include "crypto/rng.h"
+#include "gc/otext.h"
+
+namespace arm2gc::gc {
+
+class PrecompOtSender;
+class PrecompOtReceiver;
+
+/// Sender-side (Alice/garbler) half of the random-OT pool: random pad pairs
+/// ahead of consumption, the embedded warm IKNP sender state refills ride,
+/// and the derandomization frame ordinal. One per garbler role; hand the
+/// same instance to successive runs of one pairing (WarmState does) so base
+/// OTs and leftover pool entries amortize across a session. Not thread-safe;
+/// only the garbler thread touches it.
+class RandomOtPoolSender {
+ public:
+  /// `seed` is the party's protocol seed; pad randomness is domain-separated
+  /// from both the label stream and the IKNP streams. `target` is the refill
+  /// batch size — the wire protocol derives the refill schedule from it, so
+  /// both parties' pools must agree on it.
+  explicit RandomOtPoolSender(crypto::Block seed, std::size_t target = kDefaultOtPoolBatch);
+
+  [[nodiscard]] std::size_t target() const { return target_; }
+  [[nodiscard]] std::size_t available() const { return pads_.size() / 2 - head_; }
+  [[nodiscard]] std::size_t low_water() const { return (target_ + 1) / 2; }
+  [[nodiscard]] bool based() const { return iknp_.based(); }
+  [[nodiscard]] std::uint64_t refills() const { return refills_; }
+
+ private:
+  friend class PrecompOtSender;
+
+  IknpSenderState iknp_;
+  crypto::CtrRng pad_rng_;
+  std::vector<crypto::Block> pads_;  ///< FIFO of pairs: [2i] = p0_i, [2i+1] = p1_i
+  std::size_t head_ = 0;             ///< consumed pairs (pool index of the next entry)
+  std::uint64_t frames_ = 0;         ///< derandomization frames served (wire ordinal)
+  std::uint64_t refills_ = 0;
+  std::size_t target_;
+};
+
+/// Receiver-side (Bob/evaluator) twin: random choice bits, the received
+/// pads p_r, and the embedded warm IKNP receiver state. Pair it with the
+/// sender pool it refills against; mismatched pairings or a pool left
+/// half-consumed by an aborted run on one side only are detected by the
+/// derand-frame header / IKNP check block before any label is mis-delivered.
+class RandomOtPoolReceiver {
+ public:
+  explicit RandomOtPoolReceiver(crypto::Block seed, std::size_t target = kDefaultOtPoolBatch);
+
+  [[nodiscard]] std::size_t target() const { return target_; }
+  [[nodiscard]] std::size_t available() const { return bits_.size() - head_; }
+  [[nodiscard]] std::size_t low_water() const { return (target_ + 1) / 2; }
+  [[nodiscard]] bool based() const { return iknp_.based(); }
+  [[nodiscard]] std::uint64_t refills() const { return refills_; }
+
+ private:
+  friend class PrecompOtReceiver;
+
+  IknpReceiverState iknp_;
+  crypto::CtrRng choice_rng_;
+  std::vector<std::uint8_t> bits_;  ///< random choice bit per pool entry
+  std::vector<crypto::Block> got_;  ///< received pad p_{bits_[i]} per entry
+  std::size_t head_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t refills_ = 0;
+  std::size_t target_;
+};
+
+/// Precomp endpoint factories (called by make_ot_sender/make_ot_receiver in
+/// gc/otext.cpp). When `warm_pool` is null the endpoint owns a fresh pool
+/// derived from `seed` with refill batches of `pool_target`.
+std::unique_ptr<OtSender> make_precomp_ot_sender(Transport& tx, crypto::Block seed,
+                                                 RandomOtPoolSender* warm_pool,
+                                                 std::size_t pool_target);
+
+std::unique_ptr<OtReceiver> make_precomp_ot_receiver(Transport& tx, crypto::Block seed,
+                                                     RandomOtPoolReceiver* warm_pool,
+                                                     std::size_t pool_target);
+
+}  // namespace arm2gc::gc

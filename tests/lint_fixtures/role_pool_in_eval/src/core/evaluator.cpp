@@ -1,0 +1,16 @@
+// Fixture: evaluator TU; owns lb_ and must never name garbler secrets —
+// including the precomputed random-OT pad pool, which holds both pads of
+// every banked OT.
+#include "core/plan.h"
+#include "gc/transport.h"
+namespace fix::core {
+class EvaluatorSession {
+ public:
+  void run();
+ private:
+  gc::Transport* tx_ = nullptr;
+  crypto::Block lb_[2];
+  class RandomOtPoolSender* pads_ = nullptr;  // VIOLATION: garbler-only pool
+};
+void EvaluatorSession::run() { (void)tx_; }
+}  // namespace fix::core

@@ -1,0 +1,14 @@
+// Fixture: garbler TU; bind_secret is the allowlisted secret send site.
+#include "core/plan.h"
+#include "gc/transport.h"
+namespace fix::core {
+class GarblerSession {
+ public:
+  void bind_secret();
+ private:
+  gc::Transport* tx_ = nullptr;
+  crypto::Block la_[2];
+  crypto::Block R;
+};
+void GarblerSession::bind_secret() { tx_->send(la_, 1); }
+}  // namespace fix::core

@@ -1,0 +1,7 @@
+// Fixture: the dual-listed composition file (names both roles).
+#include "core/plan.h"
+namespace fix::core {
+class GarblerSession;
+class EvaluatorSession;
+int arity() { return 2; }
+}  // namespace fix::core

@@ -1,0 +1,9 @@
+// Fixture: the pure-public planner surface.
+#pragma once
+#include "crypto/block.h"
+namespace fix::core {
+struct CyclePlan {
+  unsigned emitted = 0;
+};
+CyclePlan classify(crypto::Block seed);
+}  // namespace fix::core

@@ -1,0 +1,14 @@
+// Fixture: role-neutral worker pool. Pure execution machinery (tasks +
+// dependency edges) the planner may include; see the purity_workpool case
+// for the violating counterpart.
+#pragma once
+namespace fix::core {
+class WorkPool {
+ public:
+  explicit WorkPool(unsigned threads) : threads_(threads) {}
+  unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_ = 1;
+};
+}  // namespace fix::core

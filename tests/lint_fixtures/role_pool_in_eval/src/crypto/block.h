@@ -1,0 +1,8 @@
+// Fixture: bottom-layer value type.
+#pragma once
+namespace fix::crypto {
+struct Block {
+  unsigned long lo = 0;
+  unsigned long hi = 0;
+};
+}  // namespace fix::crypto

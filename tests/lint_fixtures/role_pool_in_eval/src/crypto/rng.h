@@ -1,0 +1,12 @@
+// Fixture: secret-randomness generator (forbidden to the planner).
+#pragma once
+#include "crypto/block.h"
+namespace fix::crypto {
+class CtrRng {
+ public:
+  explicit CtrRng(Block seed) : state_(seed) {}
+  Block next() { return state_; }
+ private:
+  Block state_;
+};
+}  // namespace fix::crypto

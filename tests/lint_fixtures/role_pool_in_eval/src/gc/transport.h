@@ -1,0 +1,9 @@
+// Fixture: the serialization boundary.
+#pragma once
+#include "crypto/block.h"
+namespace fix::gc {
+class Transport {
+ public:
+  void send(const crypto::Block* blocks, unsigned n);
+};
+}  // namespace fix::gc

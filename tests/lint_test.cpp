@@ -61,6 +61,16 @@ TEST(LintFixtures, GarblerSymbolInEvaluatorTuFires) {
   EXPECT_NE(findings[1].message.find("`GarblerSession`"), std::string::npos);
 }
 
+TEST(LintFixtures, OtPoolSymbolInEvaluatorTuFires) {
+  // The precomputed random-OT pool's sender half stores both pads of every
+  // banked OT — naming it in an evaluator TU is a role-secrecy violation
+  // exactly like naming the free-XOR offset.
+  const auto findings = lint_fixture("role_pool_in_eval");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "role");
+  EXPECT_NE(findings[0].message.find("`RandomOtPoolSender`"), std::string::npos);
+}
+
 TEST(LintFixtures, EvaluatorSymbolInGarblerTuFires) {
   const auto findings = lint_fixture("role_eval_in_garbler");
   ASSERT_EQ(findings.size(), 1u);

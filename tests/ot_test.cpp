@@ -183,6 +183,72 @@ std::uint64_t iknp_bytes(const std::vector<std::size_t>& batch_sizes) {
   return total;
 }
 
+/// Exact Precomp wire cost for one cold endpoint pair (no maintain calls):
+/// replays the deterministic emergency-refill rule — whenever a batch finds
+/// fewer than m pooled OTs, both sides refill max(target, m) through the
+/// inner IKNP pair (base phase folded into the first refill) — then prices
+/// each online batch at one correction frame plus 2m masked pads. Returns
+/// {total framed bytes, online-only bytes}.
+std::pair<std::uint64_t, std::uint64_t> precomp_bytes(const std::vector<std::size_t>& batch_sizes,
+                                                      std::size_t target) {
+  std::uint64_t total = 0;
+  std::uint64_t online = 0;
+  std::size_t avail = 0;
+  bool based = false;
+  for (const std::size_t m : batch_sizes) {
+    if (avail < m) {
+      const std::size_t n = target > m ? target : m;
+      if (!based) total += 16 * (1 + 2 * gc::kOtKappa);
+      based = true;
+      total += 16 * (2 + 8 * ((n + 7) / 8) + 2 * n);
+      avail += n;
+    }
+    const std::size_t extra = m > 64 ? (m - 64 + 127) / 128 : 0;
+    const std::uint64_t frame = 16 * (1 + extra + 2 * m);
+    total += frame;
+    online += frame;
+    avail -= m;
+  }
+  return {total, online};
+}
+
+TEST(OtExt, CommStatsPrecompBytesMatchActualFramedBytes) {
+  // Same regression as the IKNP pin below, for the precomputed backend: the
+  // transport's framed accounting must equal the closed-form wire cost, and
+  // the endpoints' online_bytes stat must carve out exactly the
+  // derandomization exchanges (the refill traffic is the offline remainder).
+  for (const auto& [sizes, target] :
+       {std::pair<std::vector<std::size_t>, std::size_t>{{1}, 1024},
+        {{5, 160}, 64},                // second batch outgrows the pool
+        {{1, 1, 1}, 1},                // every batch pays an emergency refill
+        {{64, 65, 200}, 32}}) {        // correction bits past the header block
+    gc::InMemoryDuplex duplex;
+    const Block seed = block_from_u64(99);
+    auto sender = gc::make_ot_sender(gc::OtBackend::Precomp, duplex.garbler_end(), seed,
+                                     nullptr, nullptr, target);
+    auto receiver = gc::make_ot_receiver(gc::OtBackend::Precomp, duplex.evaluator_end(), seed,
+                                         nullptr, nullptr, target);
+    std::vector<Block> got;
+    for (const std::size_t m : sizes) {
+      got.assign(m, Block{});
+      for (std::size_t j = 0; j < m; ++j) receiver->enqueue((j & 1) != 0, &got[j]);
+      receiver->request();
+      for (std::size_t j = 0; j < m; ++j) {
+        sender->enqueue(block_from_u64(j), block_from_u64(j + 1));
+      }
+      sender->flush();
+      receiver->finish();
+    }
+    const auto [total, online] = precomp_bytes(sizes, target);
+    EXPECT_EQ(duplex.stats().ot_bytes, total) << "target " << target;
+    EXPECT_EQ(duplex.stats().total(), duplex.stats().ot_bytes);  // OT-only exchange
+    // Either side's online_bytes is the full-duplex online cost (frames one
+    // way, masked pads the other), so the two counters agree exactly.
+    EXPECT_EQ(sender->stats().online_bytes, online) << "target " << target;
+    EXPECT_EQ(receiver->stats().online_bytes, online) << "target " << target;
+  }
+}
+
 TEST(OtExt, CommStatsOtBytesMatchActualFramedBytes) {
   for (const auto& sizes : {std::vector<std::size_t>{1}, std::vector<std::size_t>{5, 160}}) {
     gc::InMemoryDuplex duplex;
@@ -359,9 +425,13 @@ TEST(OtExt, GoldenTableDigestStableAcrossBackends) {
   opts.fixed_cycles = 32;
   core::RunOptions iknp = opts;
   iknp.exec.ot_backend = gc::OtBackend::Iknp;
+  core::RunOptions precomp = opts;
+  precomp.exec.ot_backend = gc::OtBackend::Precomp;
   const core::RunResult ri = core::SkipGateDriver(nl, opts).run({}, {}, {}, &streams);
   const core::RunResult rk = core::SkipGateDriver(nl, iknp).run({}, {}, {}, &streams);
+  const core::RunResult rp = core::SkipGateDriver(nl, precomp).run({}, {}, {}, &streams);
   EXPECT_TRUE(ri.stats.table_digest == rk.stats.table_digest);
+  EXPECT_TRUE(ri.stats.table_digest == rp.stats.table_digest);
   EXPECT_EQ(ri.stats.table_digest.hex(), "92477f01bb42fa1f82f25714ba48d798");
 }
 

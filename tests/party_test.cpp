@@ -179,7 +179,8 @@ TEST(PartyEndpoints, SocketMatchesInMemoryOnFuzzedNetlists) {
     streams.bob = [bw](std::uint64_t c) { return netlist::BitVec{((bw >> c) & 1u) != 0}; };
 
     for (const core::Mode mode : {core::Mode::SkipGate, core::Mode::Conventional}) {
-      for (const gc::OtBackend ot : {gc::OtBackend::Ideal, gc::OtBackend::Iknp}) {
+      for (const gc::OtBackend ot :
+           {gc::OtBackend::Ideal, gc::OtBackend::Iknp, gc::OtBackend::Precomp}) {
         core::RunOptions opts;
         opts.mode = mode;
         opts.fixed_cycles = 6;
@@ -391,6 +392,130 @@ TEST(PartyWarmState, AbortBetweenRequestAndFlushRecovers) {
       core::SkipGateDriver(nl, opts).run(to_bits(9, 4), to_bits(4, 4));
   EXPECT_EQ(a2gtest::from_bits(recovered.final_outputs, 0, 4), 13u);
   EXPECT_EQ(recovered.stats.ot_base_ots, gc::kOtKappa);  // fresh base: reset worked
+}
+
+core::WarmState::Options precomp_warm_options(std::size_t pool) {
+  core::WarmState::Options w;
+  w.ot_backend = gc::OtBackend::Precomp;
+  w.ot_pool = pool;
+  return w;
+}
+
+/// The precomputed backend adds a second desync surface on top of the IKNP
+/// streams: the two random-OT pools must agree on consumption and refill
+/// schedule. A one-sided pool reset (the state a one-sided crash leaves)
+/// makes one party refill where the other derandomizes, so the very first
+/// OT frame of the next run is read against the wrong layout — a loud
+/// runtime_error on an OT header, never a silent wrong label, on both
+/// in-process transports. The failed run's abort resets both sides, and
+/// recovery re-bases from scratch.
+TEST(PartyWarmState, PrecompOneSidedPoolResetFailsLoudThenRecovers) {
+  const netlist::Netlist nl = two_party_adder();
+  for (const core::TransportKind tk :
+       {core::TransportKind::InMemory, core::TransportKind::ThreadedPipe}) {
+    core::WarmState gwarm(core::Role::Garbler, precomp_warm_options(8));
+    core::WarmState ewarm(core::Role::Evaluator, precomp_warm_options(8));
+    core::RunOptions opts;
+    opts.fixed_cycles = 1;
+    opts.exec.transport = tk;
+    opts.exec.ot_backend = gc::OtBackend::Precomp;
+    opts.exec.ot_pool = 8;
+    opts.exec.garbler_warm = &gwarm;
+    opts.exec.evaluator_warm = &ewarm;
+
+    const core::RunResult warmup =
+        core::SkipGateDriver(nl, opts).run(to_bits(3, 4), to_bits(5, 4));
+    EXPECT_EQ(a2gtest::from_bits(warmup.final_outputs, 0, 4), 8u);
+    EXPECT_EQ(warmup.stats.ot_base_ots, gc::kOtKappa);
+    // 4 of the 8 banked OTs consumed: a half-drained pool survives runs.
+    EXPECT_EQ(gwarm.ot_pool_available(), 4u);
+    EXPECT_EQ(ewarm.ot_pool_available(), 4u);
+
+    // One-sided drop: the garbler's pool (and inner IKNP state) restart
+    // from scratch while the evaluator still rides the old pool.
+    gwarm.reset_ot();
+    try {
+      (void)core::SkipGateDriver(nl, opts).run(to_bits(1, 4), to_bits(2, 4));
+      FAIL() << "desynced warm OT pools must not produce a result";
+    } catch (const gc::TransportClosed&) {
+      FAIL() << "desync surfaced as a transport teardown, not the OT check";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("ot"), std::string::npos) << e.what();
+    }
+
+    const core::RunResult recovered =
+        core::SkipGateDriver(nl, opts).run(to_bits(6, 4), to_bits(7, 4));
+    EXPECT_EQ(a2gtest::from_bits(recovered.final_outputs, 0, 4), 13u);
+    EXPECT_EQ(recovered.stats.ot_base_ots, gc::kOtKappa);
+
+    // The mirror-image drop — evaluator refills, garbler derandomizes —
+    // must fail just as loudly (the sender reads an IKNP base frame where
+    // it expects a derand header, or vice versa).
+    ewarm.reset_ot();
+    try {
+      (void)core::SkipGateDriver(nl, opts).run(to_bits(2, 4), to_bits(2, 4));
+      FAIL() << "desynced warm OT pools must not produce a result";
+    } catch (const gc::TransportClosed&) {
+      FAIL() << "desync surfaced as a transport teardown, not the OT check";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("ot"), std::string::npos) << e.what();
+    }
+    const core::RunResult again =
+        core::SkipGateDriver(nl, opts).run(to_bits(6, 4), to_bits(7, 4));
+    EXPECT_EQ(a2gtest::from_bits(again.final_outputs, 0, 4), 13u);
+    EXPECT_EQ(again.stats.ot_base_ots, gc::kOtKappa);
+  }
+}
+
+/// A mid-protocol throw with a half-consumed pool (the garbler dies inside
+/// reset() after the evaluator's request consumed pool entries) must leave
+/// warm state the next run can use: abort drops both pools and the inner
+/// extension streams, so the retry re-bases cleanly instead of
+/// derandomizing against a half-advanced pool.
+TEST(PartyWarmState, PrecompAbortWithHalfConsumedPoolRecovers) {
+  const netlist::Netlist nl = two_party_adder();
+  core::WarmState gwarm(core::Role::Garbler, precomp_warm_options(8));
+  core::WarmState ewarm(core::Role::Evaluator, precomp_warm_options(8));
+  core::RunOptions opts;
+  opts.fixed_cycles = 1;
+  opts.exec.ot_backend = gc::OtBackend::Precomp;
+  opts.exec.ot_pool = 8;
+  opts.exec.garbler_warm = &gwarm;
+  opts.exec.evaluator_warm = &ewarm;
+
+  const core::RunResult first =
+      core::SkipGateDriver(nl, opts).run(to_bits(2, 4), to_bits(3, 4));
+  EXPECT_EQ(first.stats.ot_base_ots, gc::kOtKappa);
+  EXPECT_EQ(gwarm.ot_pool_available(), 4u);
+
+  // Alice's bits come up short: the garbler throws inside reset(), after
+  // the evaluator's ot_reset request already drew on its pool.
+  EXPECT_THROW(
+      (void)core::SkipGateDriver(nl, opts).run(to_bits(1, 2), to_bits(3, 4)),
+      std::out_of_range);
+
+  const core::RunResult recovered =
+      core::SkipGateDriver(nl, opts).run(to_bits(9, 4), to_bits(4, 4));
+  EXPECT_EQ(a2gtest::from_bits(recovered.final_outputs, 0, 4), 13u);
+  EXPECT_EQ(recovered.stats.ot_base_ots, gc::kOtKappa);  // fresh base: reset worked
+}
+
+/// The pool refill schedule is a deterministic function of the pool target,
+/// so a WarmState banked at one size can never be driven at another: the
+/// endpoint rejects the pairing at construction instead of desyncing the
+/// peer mid-run.
+TEST(PartyWarmState, PrecompWarmPoolSizeMismatchRejected) {
+  const netlist::Netlist nl = two_party_adder();
+  core::WarmState gwarm(core::Role::Garbler, precomp_warm_options(8));
+  core::WarmState ewarm(core::Role::Evaluator, precomp_warm_options(8));
+  core::RunOptions opts;
+  opts.fixed_cycles = 1;
+  opts.exec.ot_backend = gc::OtBackend::Precomp;
+  opts.exec.ot_pool = 16;  // != the warm states' 8
+  opts.exec.garbler_warm = &gwarm;
+  opts.exec.evaluator_warm = &ewarm;
+  EXPECT_THROW((void)core::SkipGateDriver(nl, opts).run(to_bits(2, 4), to_bits(3, 4)),
+               std::invalid_argument);
 }
 
 /// Session-level recovery: an ARM run that throws mid-protocol

@@ -55,6 +55,7 @@ struct Args {
   std::size_t threads = 1;  ///< worker threads (0 = hardware concurrency)
   gc::Scheme scheme = gc::Scheme::HalfGates;
   gc::OtBackend ot = gc::OtBackend::Iknp;
+  std::size_t ot_pool = gc::kDefaultOtPoolBatch;
   crypto::Block seed = core::kDefaultProtocolSeed;
   std::optional<crypto::Block> private_seed;
   arm::MemoryConfig cfg;  ///< used for --program <file.s> only
@@ -68,7 +69,11 @@ struct Args {
                "  --program <builtin|file.s>    builtins: sum32 compare32 mult32 hamming160\n"
                "  --input w,w,...               this party's private words\n"
                "  --alice w,... --bob w,...     local-role inputs\n"
-               "  [--max-cycles N] [--scheme halfgates|grr3|classic4] [--ot ideal|iknp]\n"
+               "  [--max-cycles N] [--scheme halfgates|grr3|classic4]\n"
+               "  [--ot ideal|iknp|precomp]     precomp banks random OTs off the online\n"
+               "                                path and derandomizes online choices\n"
+               "  [--ot-pool N]                 precomp refill target in random OTs\n"
+               "                                (public; must match the peer)\n"
                "  [--threads N]                 worker threads (0 = all cores); results,\n"
                "                                digests and byte counts match --threads 1\n"
                "  [--seed <32 hex>]             public protocol seed (must match peer)\n"
@@ -161,9 +166,14 @@ Args parse_args(int argc, char** argv) {
         a.ot = gc::OtBackend::Ideal;
       } else if (v == "iknp") {
         a.ot = gc::OtBackend::Iknp;
+      } else if (v == "precomp") {
+        a.ot = gc::OtBackend::Precomp;
       } else {
         usage("unknown OT backend");
       }
+    } else if (f == "--ot-pool") {
+      a.ot_pool = std::stoull(next(i), nullptr, 0);
+      if (a.ot_pool == 0) usage("--ot-pool must be nonzero");
     } else if (f == "--seed") {
       a.seed = parse_block(next(i));
     } else if (f == "--private-seed") {
@@ -281,6 +291,7 @@ int run_local(const Args& a, const programs::Program& prog) {
   const arm::Arm2Gc machine(prog.cfg, prog.words);
   core::ExecOptions exec;
   exec.ot_backend = a.ot;
+  exec.ot_pool = a.ot_pool;
   exec.threads = a.threads;
   const arm::Arm2GcResult r = machine.run(a.alice, a.bob, a.max_cycles, a.scheme, exec);
   std::printf("role=local\n");
@@ -311,6 +322,7 @@ int run_party(const Args& a, const programs::Program& prog) {
   const arm::Arm2Gc machine(prog.cfg, prog.words);
   core::ExecOptions exec;
   exec.ot_backend = a.ot;
+  exec.ot_pool = a.ot_pool;
   exec.threads = a.threads;
   core::PartyOptions opts = machine.party_options(
       is_garbler ? core::Role::Garbler : core::Role::Evaluator, a.max_cycles, a.scheme, exec);
