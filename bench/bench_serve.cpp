@@ -1,0 +1,247 @@
+// Serving-throughput bench: one GarblerService, N concurrent evaluator
+// clients hammering it over loopback TCP. Two workloads bracket the serving
+// envelope:
+//   - hamming160: the ARM garbled processor on the Hamming-160 program —
+//     the paper's headline workload, heavy per run;
+//   - aes128: the hand-built AES-128 netlist — small per run, so connection
+//     and warm-pool overheads dominate.
+// Every client run must be byte-identical (same inputs, default seeds): the
+// bench cross-checks outputs and table digests across all runs and fails on
+// any divergence, so the numbers are never from a silently-wrong service.
+//
+//   ./bench_serve [--clients N] [--runs-per-client N] [--shards N]
+//                 [--program hamming160|aes128|all] [--json BENCH_serve.json]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arm/arm2gc.h"
+#include "bench_util.h"
+#include "circuits/tg_circuits.h"
+#include "programs/programs.h"
+#include "serve/client.h"
+#include "serve/service.h"
+
+using namespace arm2gc;
+
+namespace {
+
+struct BenchArgs {
+  std::size_t clients = 64;
+  std::size_t runs_per_client = 2;  ///< >1 exercises the warm repeat path
+  std::size_t shards = 4;
+  std::string program = "all";
+};
+
+BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string f = argv[i];
+    if (f == "--clients") a.clients = std::stoull(argv[i + 1]);
+    if (f == "--runs-per-client") a.runs_per_client = std::stoull(argv[i + 1]);
+    if (f == "--shards") a.shards = std::stoull(argv[i + 1]);
+    if (f == "--program") a.program = argv[i + 1];
+  }
+  return a;
+}
+
+/// One servable workload: the spec the service registers plus everything a
+/// client needs to run it. The owner keeps the netlist alive.
+struct Workload {
+  std::string name;
+  serve::ProgramSpec spec;
+  serve::ClientOptions copts;
+  netlist::BitVec bob_bits;
+  const core::StreamProvider* streams = nullptr;
+  std::shared_ptr<void> owner;
+};
+
+Workload hamming160_workload() {
+  const programs::Program prog = programs::hamming(5);
+  auto machine = std::make_shared<arm::Arm2Gc>(prog.cfg, prog.words);
+  const std::vector<std::uint32_t> alice = {0xDEADBEEF, 0x01234567, 0x89ABCDEF,
+                                            0x0F0F0F0F, 0x55AA55AA};
+  const std::vector<std::uint32_t> bob = {0xCAFEBABE, 0x76543210, 0xFEDCBA98,
+                                          0xF0F0F0F0, 0xAA55AA55};
+  Workload w;
+  w.name = "hamming160";
+  w.spec.name = w.name;
+  w.spec.nl = &machine->cpu().nl;
+  w.spec.opts = machine->party_options(core::Role::Garbler);
+  w.spec.alice_bits = machine->alice_input_bits(alice);
+  w.copts.program = w.name;
+  w.copts.ot_backend = gc::OtBackend::Iknp;
+  w.copts.halt_wire = machine->cpu().halt_wire;
+  w.bob_bits = machine->bob_input_bits(bob);
+  w.owner = machine;
+  return w;
+}
+
+Workload aes128_workload() {
+  const std::array<std::uint8_t, 16> pt = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                                           0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const std::array<std::uint8_t, 16> key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                                            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  auto inst = std::make_shared<circuits::TgInstance>(circuits::tg_aes128(pt, key));
+  Workload w;
+  w.name = "aes128";
+  w.spec.name = w.name;
+  w.spec.nl = &inst->nl;
+  w.spec.opts.fixed_cycles = inst->cycles;
+  w.spec.alice_bits = inst->alice;
+  w.spec.pub_bits = inst->pub;
+  w.spec.streams = &inst->streams;
+  w.copts.program = w.name;
+  w.copts.ot_backend = gc::OtBackend::Iknp;
+  w.copts.fixed_cycles = inst->cycles;
+  w.bob_bits = inst->bob;
+  w.streams = &inst->streams;
+  w.owner = inst;
+  return w;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// Runs `clients` concurrent client threads against a fresh service hosting
+/// this workload; returns false on any cross-run divergence.
+bool run_workload(const Workload& w, const BenchArgs& a) {
+  serve::ServiceOptions so;
+  // Each client may still have its previous connection lingering server-side
+  // (Drain phase, final flush) when its next run connects, so peak registered
+  // connections approach 2x the client count.
+  so.max_clients = a.clients * 2 + 8;
+  so.shards = a.shards;
+  so.warm_pool = std::min<std::size_t>(a.shards * 2, 16);
+  serve::GarblerService service({w.spec}, so);
+  service.start();
+  const std::uint16_t port = service.port();
+
+  std::vector<std::vector<double>> lat(a.clients);
+  std::atomic<std::uint64_t> failures{0};
+  serve::ClientResult first;  // reference result, taken from client 0 run 0
+  std::atomic<bool> have_first{false};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(a.clients);
+  for (std::size_t c = 0; c < a.clients; ++c) {
+    threads.emplace_back([&, c] {
+      core::WarmState::Options wopts;
+      wopts.ot_backend = w.copts.ot_backend;
+      wopts.ot_pool = w.copts.ot_pool;
+      core::WarmState warm(core::Role::Evaluator, wopts);
+      for (std::size_t r = 0; r < a.runs_per_client; ++r) {
+        try {
+          const auto s = std::chrono::steady_clock::now();
+          const serve::ClientResult res = serve::run_client(
+              "127.0.0.1", port, *w.spec.nl, w.copts, w.bob_bits, {}, w.streams, &warm);
+          lat[c].push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - s)
+                               .count());
+          if (c == 0 && r == 0) {
+            first = res;
+            have_first.store(true, std::memory_order_release);
+          } else if (have_first.load(std::memory_order_acquire) &&
+                     (!(res.table_digest == first.table_digest) ||
+                      res.outputs != first.outputs)) {
+            failures.fetch_add(1);
+          }
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "[%s] client %zu run %zu failed: %s\n", w.name.c_str(), c, r,
+                       e.what());
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  // Clients are done, but the service counts a run at WrapUp completion —
+  // the last connection may still be flushing. Let accounting settle.
+  const std::uint64_t want = static_cast<std::uint64_t>(a.clients) * a.runs_per_client;
+  const auto settle_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.stats().runs_ok + service.stats().runs_failed < want &&
+         std::chrono::steady_clock::now() < settle_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  service.stop();
+  const serve::ServiceStats st = service.stats();
+
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const double p50 = percentile(all, 0.50);
+  const double p99 = percentile(all, 0.99);
+  const double runs_per_s = static_cast<double>(st.runs_ok) / wall_s;
+  const double gates_per_s = static_cast<double>(st.gates_garbled) / wall_s;
+  const std::uint64_t warm_total = st.warm_hits + st.warm_misses;
+  const double warm_hit_ratio =
+      warm_total == 0 ? 0.0 : static_cast<double>(st.warm_hits) / static_cast<double>(warm_total);
+
+  benchutil::header(w.name + " serving (" + std::to_string(a.clients) + " clients x " +
+                    std::to_string(a.runs_per_client) + " runs, " + std::to_string(a.shards) +
+                    " shards)");
+  std::printf("runs_ok %llu  runs_failed %llu  wall %.2fs\n",
+              static_cast<unsigned long long>(st.runs_ok),
+              static_cast<unsigned long long>(st.runs_failed), wall_s);
+  std::printf("latency p50 %.1f ms  p99 %.1f ms  throughput %.2f runs/s  %s gates/s\n", p50,
+              p99, runs_per_s, benchutil::num(static_cast<std::uint64_t>(gates_per_s)).c_str());
+  std::printf("warm hits %llu / misses %llu (%.0f%% hit)  send-queue high water %s B\n",
+              static_cast<unsigned long long>(st.warm_hits),
+              static_cast<unsigned long long>(st.warm_misses), 100.0 * warm_hit_ratio,
+              benchutil::num(st.send_queue_high_water).c_str());
+
+  benchutil::JsonWriter& j = benchutil::json();
+  if (j.enabled()) {
+    const std::string p = "serve." + w.name;
+    j.add(p + ".clients", static_cast<std::uint64_t>(a.clients));
+    j.add(p + ".runs_per_client", static_cast<std::uint64_t>(a.runs_per_client));
+    j.add(p + ".shards", static_cast<std::uint64_t>(a.shards));
+    j.add(p + ".runs_ok", st.runs_ok);
+    j.add(p + ".runs_failed", st.runs_failed);
+    j.add(p + ".wall_s", wall_s);
+    j.add(p + ".p50_ms", p50);
+    j.add(p + ".p99_ms", p99);
+    j.add(p + ".runs_per_sec", runs_per_s);
+    j.add(p + ".gates_per_sec", gates_per_s);
+    j.add(p + ".garbled_non_xor_per_run", first.garbled_non_xor);
+    j.add(p + ".warm_hit_ratio", warm_hit_ratio);
+    j.add(p + ".send_queue_high_water", st.send_queue_high_water);
+  }
+
+  const std::uint64_t expected = static_cast<std::uint64_t>(a.clients) * a.runs_per_client;
+  if (failures.load() != 0 || st.runs_ok != expected) {
+    std::fprintf(stderr, "[%s] FAIL: %llu divergences/errors, %llu/%llu runs ok\n",
+                 w.name.c_str(), static_cast<unsigned long long>(failures.load()),
+                 static_cast<unsigned long long>(st.runs_ok),
+                 static_cast<unsigned long long>(expected));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::parse_args(argc, argv);
+  const BenchArgs a = parse_bench_args(argc, argv);
+
+  bool ok = true;
+  if (a.program == "all" || a.program == "aes128") ok &= run_workload(aes128_workload(), a);
+  if (a.program == "all" || a.program == "hamming160") {
+    ok &= run_workload(hamming160_workload(), a);
+  }
+  if (!ok) return 1;
+  return benchutil::finish();
+}

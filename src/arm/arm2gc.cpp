@@ -38,6 +38,27 @@ Arm2GcResult decode_run(const core::RunResult& r, std::size_t out_words) {
 }
 }  // namespace
 
+netlist::BitVec Arm2Gc::alice_input_bits(std::span<const std::uint32_t> words) const {
+  return words_to_bits(words, cfg_.alice_words, "Alice");
+}
+
+netlist::BitVec Arm2Gc::bob_input_bits(std::span<const std::uint32_t> words) const {
+  return words_to_bits(words, cfg_.bob_words, "Bob");
+}
+
+std::vector<std::uint32_t> Arm2Gc::decode_output_bits(
+    const netlist::BitVec& final_outputs) const {
+  std::vector<std::uint32_t> out(cfg_.out_words, 0);
+  for (std::size_t w = 0; w < cfg_.out_words; ++w) {
+    for (int b = 0; b < 32; ++b) {
+      if (final_outputs.at(1 + 32 * w + static_cast<std::size_t>(b))) {
+        out[w] |= 1u << b;
+      }
+    }
+  }
+  return out;
+}
+
 Arm2GcResult Arm2Gc::run(std::span<const std::uint32_t> alice,
                          std::span<const std::uint32_t> bob, std::uint64_t max_cycles,
                          gc::Scheme scheme, const core::ExecOptions& exec) const {

@@ -123,6 +123,17 @@ class Arm2Gc {
   [[nodiscard]] const CpuNetlist& cpu() const { return cpu_; }
   [[nodiscard]] const std::vector<std::uint32_t>& program() const { return program_; }
 
+  /// Bit-level views of this machine's memories, for deployments that drive
+  /// netlist-level endpoints directly (the garbler service and its clients
+  /// speak netlists, not ARM memories): input words packed little-endian
+  /// into the input-bit order run_garbler/run_evaluator use, and the inverse
+  /// for a RunResult's final outputs (output port 0 is the halt flag; the
+  /// output memory follows word-major).
+  [[nodiscard]] netlist::BitVec alice_input_bits(std::span<const std::uint32_t> words) const;
+  [[nodiscard]] netlist::BitVec bob_input_bits(std::span<const std::uint32_t> words) const;
+  [[nodiscard]] std::vector<std::uint32_t> decode_output_bits(
+      const netlist::BitVec& final_outputs) const;
+
  private:
   [[nodiscard]] netlist::BitVec words_to_bits(std::span<const std::uint32_t> words,
                                               std::size_t mem_words, const char* who) const;

@@ -133,6 +133,14 @@ std::size_t WarmState::ot_pool_available() const {
   return 0;
 }
 
+bool WarmState::ot_refill_pending() const {
+  if (otpre_sender_ != nullptr) return otpre_sender_->available() < otpre_sender_->low_water();
+  if (otpre_receiver_ != nullptr) {
+    return otpre_receiver_->available() < otpre_receiver_->low_water();
+  }
+  return false;
+}
+
 WorkPool* WarmState::pool(std::size_t threads) {
   if (pool_ == nullptr || pool_->threads() != threads) {
     pool_ = std::make_unique<WorkPool>(threads);

@@ -234,6 +234,14 @@ class WarmState {
   /// Precomp only: random OTs banked and not yet consumed (0 otherwise).
   [[nodiscard]] std::size_t ot_pool_available() const;
 
+  /// Precomp only: true when the pool is below its low-water mark, i.e. the
+  /// next ot_refill()/ot_refill_request() slot will actually exchange a
+  /// refill batch rather than no-op. Both roles' pools track the same fill
+  /// level by construction, so a scheduler can predict from its own side
+  /// whether the maintenance slot touches the wire (the garbler service
+  /// parks for the receiver-first refill frames only when this is set).
+  [[nodiscard]] bool ot_refill_pending() const;
+
   /// Discards the warm OT-extension state (the next run redoes the kappa
   /// base OTs; plan caches are untouched). Called by endpoints on protocol
   /// abort; callable directly to force a re-base.

@@ -1,9 +1,11 @@
 #include "gc/transport_socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -31,6 +33,35 @@ constexpr std::size_t kReadBytes = 1u << 16;
 void set_nodelay(int fd) {
   int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void set_fd_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+/// poll() until `events` is ready. `timeout_ms` <= 0 waits forever; expiry
+/// returns false. EINTR restarts against a steady-clock deadline.
+bool wait_fd(int fd, short events, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int wait = -1;
+    if (timeout_ms > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) return false;
+      wait = static_cast<int>(left);
+    }
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, wait);
+    if (rc > 0) return true;  // ready (or error/hup: let the syscall report it)
+    if (rc == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+  }
 }
 
 struct AddrInfo {
@@ -105,7 +136,14 @@ std::unique_ptr<SocketDuplex> SocketDuplex::connect(const std::string& host,
         last_errno = errno;
         continue;
       }
-      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+      while (rc != 0 && errno == EINTR) {
+        // An interrupted connect keeps completing asynchronously; the retry
+        // reports EISCONN once the handshake lands.
+        rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        if (rc != 0 && errno == EISCONN) rc = 0;
+      }
+      if (rc == 0) {
         return std::make_unique<SocketDuplex>(fd);
       }
       last_errno = errno;
@@ -127,26 +165,64 @@ Transport& SocketDuplex::end() { return *end_; }
 
 CommStats SocketDuplex::sent() const { return sent_stats_; }
 
-void SocketDuplex::flush() {
-  std::size_t off = 0;
-  while (off < wbuf_.size()) {
+bool SocketDuplex::drain_some() {
+  while (wpos_ < wbuf_.size()) {
     if (closed_) throw TransportClosed();
-    const ssize_t n = ::send(fd_, wbuf_.data() + off, wbuf_.size() - off, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd_, wbuf_.data() + wpos_, wbuf_.size() - wpos_, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
       if (errno == EPIPE || errno == ECONNRESET) throw TransportClosed();
       throw_errno("send");
     }
-    off += static_cast<std::size_t>(n);
+    wpos_ += static_cast<std::size_t>(n);
   }
   wbuf_.clear();
+  wpos_ = 0;
+  return true;
+}
+
+void SocketDuplex::wait_writable() {
+  if (!wait_fd(fd_, POLLOUT, recv_timeout_ms_)) throw TransportClosed();
+}
+
+void SocketDuplex::wait_readable() {
+  if (!wait_fd(fd_, POLLIN, recv_timeout_ms_)) throw TransportClosed();
+}
+
+void SocketDuplex::flush() {
+  while (!drain_some()) wait_writable();
+}
+
+bool SocketDuplex::try_flush() { return drain_some(); }
+
+void SocketDuplex::set_nonblocking(bool on) {
+  set_fd_nonblocking(fd_, on);
+  nonblocking_ = on;
 }
 
 void SocketDuplex::write_bytes(const void* data, std::size_t n) {
   if (closed_) throw TransportClosed();
   const auto* p = static_cast<const std::uint8_t*>(data);
+  // Compact the consumed prefix once it dominates, so resumed partial
+  // writes do not grow the buffer without bound.
+  if (wpos_ > 0 && (wpos_ == wbuf_.size() || wpos_ >= kFlushBytes)) {
+    wbuf_.erase(wbuf_.begin(), wbuf_.begin() + static_cast<std::ptrdiff_t>(wpos_));
+    wpos_ = 0;
+  }
   wbuf_.insert(wbuf_.end(), p, p + n);
-  if (wbuf_.size() >= kFlushBytes) flush();
+  if (pending_out() > send_high_water_) send_high_water_ = pending_out();
+  if (nonblocking_) {
+    // Opportunistic drain; the hard cap (if any) is enforced by waiting the
+    // kernel out rather than queueing further.
+    if (pending_out() >= kFlushBytes) (void)drain_some();
+    while (send_limit_ != 0 && pending_out() > send_limit_) {
+      wait_writable();
+      (void)drain_some();
+    }
+  } else if (wbuf_.size() >= kFlushBytes) {
+    flush();
+  }
 }
 
 void SocketDuplex::read_bytes(void* data, std::size_t n) {
@@ -166,11 +242,18 @@ void SocketDuplex::read_bytes(void* data, std::size_t n) {
     }
     if (closed_) throw TransportClosed();
     // Large remainders go straight to the destination; small ones refill the
-    // staging buffer so a phase of tiny frames costs one syscall.
+    // staging buffer so a phase of tiny frames costs one syscall. In
+    // non-blocking mode EAGAIN falls back to a poll() wait bounded by the
+    // recv deadline: the caller asked for bytes and cannot proceed without
+    // them, so this is the one place the event-loop service blocks inline.
     if (n >= kReadBytes) {
       const ssize_t r = ::recv(fd_, dst, n, 0);
       if (r < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          wait_readable();
+          continue;
+        }
         if (errno == ECONNRESET) throw TransportClosed();
         throw_errno("recv");
       }
@@ -183,6 +266,10 @@ void SocketDuplex::read_bytes(void* data, std::size_t n) {
       const ssize_t r = ::recv(fd_, rbuf_.data(), rbuf_.size(), 0);
       if (r < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          wait_readable();
+          continue;
+        }
         if (errno == ECONNRESET) throw TransportClosed();
         throw_errno("recv");
       }
@@ -209,7 +296,7 @@ void SocketDuplex::close() {
 // SocketListener
 // ---------------------------------------------------------------------------
 
-SocketListener::SocketListener(const std::string& host, std::uint16_t port)
+SocketListener::SocketListener(const std::string& host, std::uint16_t port, int backlog)
     : fd_(-1), port_(0) {
   AddrInfo holder;
   addrinfo* info = resolve(holder, host, port, /*passive=*/true);
@@ -222,7 +309,7 @@ SocketListener::SocketListener(const std::string& host, std::uint16_t port)
     }
     int one = 1;
     (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, 1) == 0) {
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, backlog) == 0) {
       fd_ = fd;
       break;
     }
@@ -253,8 +340,28 @@ std::unique_ptr<SocketDuplex> SocketListener::accept() {
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) return std::make_unique<SocketDuplex>(fd);
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Blocking semantics even on a non-blocking listener.
+      if (!wait_fd(fd_, POLLIN, -1)) continue;
+      continue;
+    }
     throw_errno("accept");
   }
 }
+
+std::unique_ptr<SocketDuplex> SocketListener::try_accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<SocketDuplex>(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return nullptr;
+    // A connection that died between arrival and accept() is not an error
+    // for the accept loop.
+    if (errno == ECONNABORTED) continue;
+    throw_errno("accept");
+  }
+}
+
+void SocketListener::set_nonblocking(bool on) { set_fd_nonblocking(fd_, on); }
 
 }  // namespace arm2gc::gc

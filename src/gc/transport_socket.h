@@ -20,6 +20,16 @@
 // Teardown: peer EOF/reset — or a local close() — surfaces as
 // gc::TransportClosed out of send/recv, the same type the in-process drivers
 // use to tell a teardown echo from a party's real failure.
+//
+// Non-blocking mode (set_nonblocking) serves the event-loop garbler service:
+// try_flush() drains as much of the write buffer as the kernel accepts and
+// resumes the partial remainder later (a consumed-prefix offset, so repeated
+// partial writes stay O(bytes), not O(bytes^2)); pending_out()/buffered_in()
+// expose queue depths for the service's backpressure decisions; and the
+// blocking helpers (read_bytes tails, hard send-limit waits) fall back to
+// poll() with a configurable recv deadline so a stalled peer surfaces as
+// TransportClosed instead of a hang. The wire bytes are identical in both
+// modes — non-blocking is purely a scheduling change.
 #pragma once
 
 #include <cstdint>
@@ -53,8 +63,41 @@ class SocketDuplex {
   [[nodiscard]] CommStats sent() const;
 
   /// Flushes buffered writes. send()/recv() manage this themselves; call it
-  /// before hand-rolled out-of-band exchanges or long local pauses.
+  /// before hand-rolled out-of-band exchanges or long local pauses. In
+  /// non-blocking mode a kernel-full socket is waited out with poll(), so
+  /// flush() still completes or throws — it never silently drops bytes.
   void flush();
+
+  /// Switches the socket between blocking (default) and non-blocking mode.
+  void set_nonblocking(bool on);
+
+  /// Non-blocking drain: hands the kernel as much of the pending write
+  /// buffer as it will take right now and returns true when nothing is left.
+  /// On false, call again once the fd polls writable. Partial writes leave
+  /// the unsent remainder queued (resumed, never re-sent).
+  bool try_flush();
+
+  /// Bytes accepted by write_bytes but not yet accepted by the kernel.
+  [[nodiscard]] std::size_t pending_out() const { return wbuf_.size() - wpos_; }
+
+  /// Max pending_out() ever observed — the send-queue high-water mark.
+  [[nodiscard]] std::size_t send_high_water() const { return send_high_water_; }
+
+  /// Received bytes staged in userspace and not yet consumed by recv().
+  [[nodiscard]] std::size_t buffered_in() const { return rlen_ - rpos_; }
+
+  /// Hard cap on pending_out(): a write that would exceed it blocks (poll)
+  /// until the kernel drains below the cap, so one slow peer can never grow
+  /// an unbounded userspace queue. 0 means uncapped (the default).
+  void set_send_limit(std::size_t bytes) { send_limit_ = bytes; }
+
+  /// Deadline for poll() waits inside blocking reads/flushes while in
+  /// non-blocking mode; expiry raises TransportClosed. <= 0 waits forever.
+  void set_recv_timeout_ms(int ms) { recv_timeout_ms_ = ms; }
+
+  /// The underlying socket fd, for readiness registration only — all I/O
+  /// must keep going through this class (it owns the buffers).
+  [[nodiscard]] int fd() const { return fd_; }
 
   /// Out-of-protocol control bytes (unaccounted): the party tool's wrap-up
   /// handshake (outputs/digest/stat exchange after the protocol proper).
@@ -70,11 +113,19 @@ class SocketDuplex {
 
   void write_bytes(const void* data, std::size_t n);  ///< buffered
   void read_bytes(void* data, std::size_t n);         ///< flushes, then reads fully
+  bool drain_some();                ///< one kernel send pass; false on EAGAIN
+  void wait_readable();             ///< poll(POLLIN) under recv_timeout_ms_
+  void wait_writable();             ///< poll(POLLOUT) under recv_timeout_ms_
 
   int fd_;
   bool closed_ = false;
+  bool nonblocking_ = false;
+  int recv_timeout_ms_ = -1;
+  std::size_t send_limit_ = 0;  ///< 0 = uncapped
+  std::size_t send_high_water_ = 0;
   CommStats sent_stats_;
   std::vector<std::uint8_t> wbuf_;
+  std::size_t wpos_ = 0;  ///< kernel-accepted prefix of wbuf_
   std::vector<std::uint8_t> rbuf_;  ///< fixed-size read staging
   std::size_t rlen_ = 0;            ///< filled prefix of rbuf_
   std::size_t rpos_ = 0;            ///< consumed prefix of rlen_
@@ -85,13 +136,20 @@ class SocketDuplex {
 /// `port` 0 binds an ephemeral port; port() reports the bound one.
 class SocketListener {
  public:
-  SocketListener(const std::string& host, std::uint16_t port);
+  SocketListener(const std::string& host, std::uint16_t port, int backlog = 128);
   ~SocketListener();
   SocketListener(const SocketListener&) = delete;
   SocketListener& operator=(const SocketListener&) = delete;
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] std::unique_ptr<SocketDuplex> accept();
+
+  /// Non-blocking accept: nullptr when no connection is pending. The
+  /// listener must be in non-blocking mode (set_nonblocking) first.
+  [[nodiscard]] std::unique_ptr<SocketDuplex> try_accept();
+
+  void set_nonblocking(bool on);
+  [[nodiscard]] int fd() const { return fd_; }
 
  private:
   int fd_;

@@ -1,0 +1,52 @@
+// Readiness multiplexer behind the garbler service's event loop: a thin
+// level-triggered interest set over epoll where available (Linux), with a
+// portable poll() backend everywhere — selectable at runtime so the tests
+// exercise both on any host. Level-triggered on purpose: the service's
+// connections park with data possibly already staged in userspace, and
+// edge-triggered wakeups plus userspace buffers is how readiness loops lose
+// wakeups.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace arm2gc::serve {
+
+enum class PollerBackend : std::uint8_t {
+  Default,  ///< epoll on Linux, poll() elsewhere
+  Poll,     ///< force the portable poll() backend
+};
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  ///< POLLERR/POLLHUP-class condition
+  };
+
+  explicit Poller(PollerBackend backend = PollerBackend::Default);
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// True when this poller runs on epoll (false = portable poll()).
+  [[nodiscard]] bool using_epoll() const { return epfd_ >= 0; }
+
+  void add(int fd, bool want_read, bool want_write);
+  void mod(int fd, bool want_read, bool want_write);
+  void del(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever, 0 = non-blocking) and appends
+  /// ready fds to `out` (cleared first). Returns the number of events.
+  std::size_t wait(std::vector<Event>& out, int timeout_ms);
+
+ private:
+  int epfd_ = -1;                  ///< epoll backend; -1 = poll backend
+  std::map<int, short> interest_;  ///< poll backend's registered fds
+};
+
+}  // namespace arm2gc::serve

@@ -518,6 +518,156 @@ TEST(PartyWarmState, PrecompWarmPoolSizeMismatchRejected) {
                std::invalid_argument);
 }
 
+// --- fault injection (a2gtest::FaultyDuplex) -------------------------------------
+
+/// Outcome of one fault-injected two-thread endpoint run.
+struct FaultRun {
+  bool garbler_closed = false;    ///< garbler surfaced gc::TransportClosed
+  bool evaluator_closed = false;  ///< evaluator surfaced gc::TransportClosed
+  std::string garbler_other;     ///< non-TransportClosed failure text (empty = none)
+  std::string evaluator_other;
+};
+
+/// Garbler on a worker thread, evaluator on this one, over the faulty pair;
+/// endpoint run() handles its own abort (warm OT reset) before rethrowing.
+FaultRun faulty_run(const netlist::Netlist& nl, const core::RunOptions& opts,
+                    a2gtest::FaultyDuplex& duplex, core::WarmState* gwarm,
+                    core::WarmState* ewarm, const netlist::BitVec& a,
+                    const netlist::BitVec& b) {
+  FaultRun out;
+  std::thread garbler_thread([&] {
+    try {
+      core::GarblerEndpoint endpoint(nl, core::party_options(core::Role::Garbler, opts),
+                                     duplex.garbler_end(), gwarm);
+      (void)endpoint.run(a);
+    } catch (const gc::TransportClosed&) {
+      out.garbler_closed = true;
+    } catch (const std::exception& e) {
+      out.garbler_other = e.what();
+    }
+  });
+  try {
+    core::EvaluatorEndpoint endpoint(nl, core::party_options(core::Role::Evaluator, opts),
+                                     duplex.evaluator_end(), ewarm);
+    (void)endpoint.run(b);
+  } catch (const gc::TransportClosed&) {
+    out.evaluator_closed = true;
+  } catch (const std::exception& e) {
+    out.evaluator_other = e.what();
+  }
+  garbler_thread.join();
+  return out;
+}
+
+/// Short reads, partial writes and mid-frame closes at assorted byte offsets
+/// (a peer dying mid-protocol) must surface as gc::TransportClosed on BOTH
+/// endpoints — never a hang, never a wrong result — and a subsequent run on
+/// the same WarmState pair must be byte-identical to an undisturbed warm
+/// run: outputs, table digest, per-class comm, and a fresh base-OT phase
+/// (the abort path re-based the extension state).
+TEST(PartyFaultInjection, MidStreamCloseSurfacesTransportClosedAndWarmRecovers) {
+  const netlist::Netlist nl = two_party_adder();
+  core::RunOptions opts;
+  opts.fixed_cycles = 1;
+  opts.exec.ot_backend = gc::OtBackend::Iknp;
+
+  // The undisturbed reference (cold warm states; endpoint runs are
+  // deterministic, so every later cold-equivalent run must reproduce it).
+  core::WarmState gref(core::Role::Garbler, iknp_warm_options());
+  core::WarmState eref(core::Role::Evaluator, iknp_warm_options());
+  opts.exec.garbler_warm = &gref;
+  opts.exec.evaluator_warm = &eref;
+  const core::RunResult ref = core::SkipGateDriver(nl, opts).run(to_bits(9, 4), to_bits(6, 4));
+  EXPECT_EQ(a2gtest::from_bits(ref.final_outputs, 0, 4), 15u);
+
+  struct Case {
+    bool on_garbler;   ///< which side trips
+    bool on_send;      ///< partial write (else short read)
+    std::uint64_t at;  ///< trip point in blocks (odd values land mid-frame)
+  };
+  // Trip points sit inside the actual per-direction traffic: the garbler
+  // sends only ~18 blocks here (tables + labels; the big IKNP matrix flows
+  // evaluator -> garbler), so garbler-send and evaluator-recv trips must
+  // stay below that, while trips on the other direction can land inside
+  // the 257-block extension matrix.
+  const Case cases[] = {
+      {true, true, 1},   {true, true, 9},   {true, false, 3},  {true, false, 33},
+      {false, true, 1},  {false, true, 13}, {false, false, 7}, {false, false, 13},
+  };
+  for (const Case& c : cases) {
+    core::WarmState gwarm(core::Role::Garbler, iknp_warm_options());
+    core::WarmState ewarm(core::Role::Evaluator, iknp_warm_options());
+    opts.exec.garbler_warm = &gwarm;
+    opts.exec.evaluator_warm = &ewarm;
+
+    a2gtest::FaultyDuplex faulty(1u << 12);
+    if (c.on_garbler && c.on_send) faulty.fail_garbler_send_after(c.at);
+    if (c.on_garbler && !c.on_send) faulty.fail_garbler_recv_after(c.at);
+    if (!c.on_garbler && c.on_send) faulty.fail_evaluator_send_after(c.at);
+    if (!c.on_garbler && !c.on_send) faulty.fail_evaluator_recv_after(c.at);
+
+    const FaultRun r =
+        faulty_run(nl, opts, faulty, &gwarm, &ewarm, to_bits(9, 4), to_bits(6, 4));
+    EXPECT_TRUE(r.garbler_closed) << "garbler: " << r.garbler_other;
+    EXPECT_TRUE(r.evaluator_closed) << "evaluator: " << r.evaluator_other;
+
+    // Recovery on the same warm pair over a fresh transport: byte-identical
+    // to the reference, and provably re-based.
+    const core::RunResult rec =
+        core::SkipGateDriver(nl, opts).run(to_bits(9, 4), to_bits(6, 4));
+    EXPECT_EQ(rec.final_outputs, ref.final_outputs);
+    EXPECT_TRUE(rec.stats.table_digest == ref.stats.table_digest);
+    EXPECT_EQ(rec.stats.garbled_non_xor, ref.stats.garbled_non_xor);
+    EXPECT_EQ(rec.stats.comm.garbled_table_bytes, ref.stats.comm.garbled_table_bytes);
+    EXPECT_EQ(rec.stats.comm.input_label_bytes, ref.stats.comm.input_label_bytes);
+    EXPECT_EQ(rec.stats.comm.ot_bytes, ref.stats.comm.ot_bytes);
+    EXPECT_EQ(rec.stats.comm.output_bytes, ref.stats.comm.output_bytes);
+    EXPECT_EQ(rec.stats.ot_base_ots, gc::kOtKappa);
+  }
+}
+
+/// Same teardown discipline under the precomputed-OT backend, where a dying
+/// peer can leave a half-consumed random-OT pool behind: the release path is
+/// the abort path, so the next run on the same warm pair re-banks and is
+/// byte-identical to an undisturbed one.
+TEST(PartyFaultInjection, PrecompMidStreamCloseRecoversByteIdentical) {
+  const netlist::Netlist nl = two_party_adder();
+  core::RunOptions opts;
+  opts.fixed_cycles = 1;
+  opts.exec.ot_backend = gc::OtBackend::Precomp;
+  opts.exec.ot_pool = 8;
+
+  core::WarmState gref(core::Role::Garbler, precomp_warm_options(8));
+  core::WarmState eref(core::Role::Evaluator, precomp_warm_options(8));
+  opts.exec.garbler_warm = &gref;
+  opts.exec.evaluator_warm = &eref;
+  const core::RunResult ref = core::SkipGateDriver(nl, opts).run(to_bits(3, 4), to_bits(4, 4));
+
+  core::WarmState gwarm(core::Role::Garbler, precomp_warm_options(8));
+  core::WarmState ewarm(core::Role::Evaluator, precomp_warm_options(8));
+  opts.exec.garbler_warm = &gwarm;
+  opts.exec.evaluator_warm = &ewarm;
+  // First trip lands inside the cold base/extension phase (the evaluator's
+  // big matrix); the recovery run then re-banks the pool, so the second
+  // faulty run is warm — the evaluator sends only a handful of small frames
+  // there, and its trip must sit inside that short stream.
+  for (const std::uint64_t at : {5ull, 3ull}) {
+    a2gtest::FaultyDuplex faulty(1u << 12);
+    faulty.fail_evaluator_send_after(at);  // the receiver-first OT frames die
+    const FaultRun r =
+        faulty_run(nl, opts, faulty, &gwarm, &ewarm, to_bits(3, 4), to_bits(4, 4));
+    EXPECT_TRUE(r.garbler_closed) << "garbler: " << r.garbler_other;
+    EXPECT_TRUE(r.evaluator_closed) << "evaluator: " << r.evaluator_other;
+
+    const core::RunResult rec =
+        core::SkipGateDriver(nl, opts).run(to_bits(3, 4), to_bits(4, 4));
+    EXPECT_EQ(rec.final_outputs, ref.final_outputs);
+    EXPECT_TRUE(rec.stats.table_digest == ref.stats.table_digest);
+    EXPECT_EQ(rec.stats.comm.ot_bytes, ref.stats.comm.ot_bytes);
+    EXPECT_EQ(rec.stats.ot_base_ots, gc::kOtKappa);
+  }
+}
+
 /// Session-level recovery: an ARM run that throws mid-protocol
 /// (max_cycles exhausted) aborts both endpoints; the session's next run
 /// re-bases and computes correctly — no session rebuild.

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "gc/transport.h"
 #include "netlist/netlist.h"
 
 namespace a2gtest {
@@ -29,5 +31,86 @@ inline arm2gc::netlist::BitVec concat_bits(const arm2gc::netlist::BitVec& a,
   r.insert(r.end(), b.begin(), b.end());
   return r;
 }
+
+/// Fault-injecting transport pair: a ThreadedPipeDuplex whose ends count
+/// traffic in blocks and, at a configured trip point, deliver only a prefix
+/// of the in-flight operation before closing the whole duplex — a partial
+/// write (send trip) or a short read (recv trip), followed by a mid-stream
+/// connection loss. A trip point that is not a frame-size multiple lands
+/// mid-frame, modeling a peer dying halfway through a message. The tripping
+/// side throws gc::TransportClosed itself; the close() wakes the peer, whose
+/// next blocked recv or send throws the same — so both endpoints surface the
+/// teardown as TransportClosed, never as a hang or a wrong label.
+class FaultyDuplex {
+ public:
+  explicit FaultyDuplex(std::size_t capacity_blocks)
+      : inner_(capacity_blocks),
+        garbler_(inner_.garbler_end(), inner_),
+        evaluator_(inner_.evaluator_end(), inner_) {}
+
+  [[nodiscard]] arm2gc::gc::Transport& garbler_end() { return garbler_; }
+  [[nodiscard]] arm2gc::gc::Transport& evaluator_end() { return evaluator_; }
+
+  /// Trip after the given total block count in that direction (the tripping
+  /// operation's blocks up to the limit are still delivered).
+  void fail_garbler_send_after(std::uint64_t blocks) { garbler_.send_trip = blocks; }
+  void fail_garbler_recv_after(std::uint64_t blocks) { garbler_.recv_trip = blocks; }
+  void fail_evaluator_send_after(std::uint64_t blocks) { evaluator_.send_trip = blocks; }
+  void fail_evaluator_recv_after(std::uint64_t blocks) { evaluator_.recv_trip = blocks; }
+
+  [[nodiscard]] arm2gc::gc::CommStats stats() const { return inner_.stats(); }
+
+ private:
+  class End : public arm2gc::gc::Transport {
+   public:
+    End(arm2gc::gc::Transport& inner, arm2gc::gc::ThreadedPipeDuplex& duplex)
+        : inner_(&inner), duplex_(&duplex) {}
+
+    std::optional<std::uint64_t> send_trip;
+    std::optional<std::uint64_t> recv_trip;
+
+    void send(const arm2gc::crypto::Block* blocks, std::size_t n,
+              arm2gc::gc::Traffic t) override {
+      if (send_trip && sent_ + n > *send_trip) {
+        const auto allowed = static_cast<std::size_t>(*send_trip - sent_);
+        if (allowed > 0) inner_->send(blocks, allowed, t);  // partial write
+        trip();
+      }
+      inner_->send(blocks, n, t);
+      sent_ += n;
+    }
+
+    void recv(arm2gc::crypto::Block* out, std::size_t n) override {
+      if (recv_trip && received_ + n > *recv_trip) {
+        const auto allowed = static_cast<std::size_t>(*recv_trip - received_);
+        if (allowed > 0) inner_->recv(out, allowed);  // short read
+        trip();
+      }
+      inner_->recv(out, n);
+      received_ += n;
+    }
+
+    void account(arm2gc::gc::Traffic t, std::uint64_t bytes) override {
+      inner_->account(t, bytes);
+    }
+
+    void flush() override { inner_->flush(); }
+
+   private:
+    [[noreturn]] void trip() {
+      duplex_->close();  // wake the peer; its next transport touch throws too
+      throw arm2gc::gc::TransportClosed{};
+    }
+
+    arm2gc::gc::Transport* inner_;
+    arm2gc::gc::ThreadedPipeDuplex* duplex_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t received_ = 0;
+  };
+
+  arm2gc::gc::ThreadedPipeDuplex inner_;
+  End garbler_;
+  End evaluator_;
+};
 
 }  // namespace a2gtest
