@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/skipgate.h"
+#include "serve/service.h"
 
 namespace benchutil {
 
@@ -105,6 +106,22 @@ inline void json_stats(const std::string& prefix, const arm2gc::core::RunStats& 
   json().add(prefix + ".ot_online_bytes", s.ot_online_bytes);
   json().add(prefix + ".ot_offline_ms", static_cast<double>(s.ot_offline_wall_ns) / 1e6);
   json().add(prefix + ".threads", s.threads);
+}
+
+/// Records service-side counters under `prefix.*` — one shape shared by
+/// bench_serve rows and `arm2gc_serve --json` summaries.
+inline void json_service_stats(const std::string& prefix,
+                               const arm2gc::serve::ServiceStats& s) {
+  if (!json().enabled()) return;
+  json().add(prefix + ".accepted", s.accepted);
+  json().add(prefix + ".hello_rejected", s.hello_rejected);
+  json().add(prefix + ".runs_ok", s.runs_ok);
+  json().add(prefix + ".runs_failed", s.runs_failed);
+  json().add(prefix + ".warm_hits", s.warm_hits);
+  json().add(prefix + ".warm_misses", s.warm_misses);
+  json().add(prefix + ".gates_garbled", s.gates_garbled);
+  json().add(prefix + ".cycles_run", s.cycles_run);
+  json().add(prefix + ".send_queue_high_water", s.send_queue_high_water);
 }
 
 inline void header(const std::string& title) {

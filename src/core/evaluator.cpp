@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/workpool.h"
+#include "obs/trace.h"
 
 namespace arm2gc::core {
 
@@ -201,6 +202,9 @@ void EvaluatorSession::eval_cycle(const CyclePlan& plan, std::uint64_t cycle) {
   // Worker body: evaluate one cone slice against its staged tables. Label
   // reads of upstream slices are ordered by the plan's dependency DAG.
   const auto eval_slice = [&](std::size_t si) {
+    // Slice tracing lives in the session's task body, not the WorkPool —
+    // the pool stays obs-free under the planner-purity lint rule.
+    A2G_SPAN("eval.slice", "slice");
     const PlanSlice& sl = plan.slices[si];
     const std::vector<gc::GarbledTable>& stage = stage_[si];
     std::size_t next_table = 0;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/workpool.h"
+#include "obs/trace.h"
 
 namespace arm2gc::core {
 
@@ -148,6 +149,9 @@ void GarblerSession::garble_cycle(const CyclePlan& plan) {
   // Worker body: garble one cone slice into its staging buffer. Label
   // reads of upstream slices are ordered by the plan's dependency DAG.
   const auto garble_slice = [&](std::size_t si) {
+    // Slice tracing lives in the session's task body, not the WorkPool —
+    // the pool stays obs-free under the planner-purity lint rule.
+    A2G_SPAN("garble.slice", "slice");
     const PlanSlice& sl = plan.slices[si];
     std::vector<gc::GarbledTable>& stage = stage_[si];
     stage.clear();

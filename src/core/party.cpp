@@ -6,6 +6,8 @@
 #include "core/garbler.h"
 #include "core/workpool.h"
 #include "gc/otpre.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace arm2gc::core {
 
@@ -213,10 +215,19 @@ void GarblerEndpoint::begin(std::uint64_t cycle) {
 }
 
 bool GarblerEndpoint::work(std::uint64_t cycle) {
-  planner_.forward();
-  const bool is_final = decide_final(cycle);
-  plan_ = planner_.finish(is_final);
-  session_->garble_cycle(plan_);
+  A2G_SPAN("garbler.work", "party");
+  A2G_HIST_TIMER("party.garbler.work_ns");
+  bool is_final;
+  {
+    A2G_SPAN("garbler.plan", "party");
+    planner_.forward();
+    is_final = decide_final(cycle);
+    plan_ = planner_.finish(is_final);
+  }
+  {
+    A2G_SPAN("garbler.garble", "party");
+    session_->garble_cycle(plan_);
+  }
   stats_.cycles++;
   stats_.non_xor_slots += planner_.non_free_per_cycle();
   stats_.garbled_non_xor += plan_.emitted;
@@ -233,7 +244,10 @@ void GarblerEndpoint::latch() {
   session_->latch(plan_);
 }
 
-void GarblerEndpoint::ot_refill() { session_->ot_maintain(); }
+void GarblerEndpoint::ot_refill() {
+  A2G_SPAN("garbler.ot_refill", "party");
+  session_->ot_maintain();
+}
 
 RunResult GarblerEndpoint::finish() {
   // The protocol is over; a buffering transport may still hold our last
@@ -365,6 +379,8 @@ void EvaluatorEndpoint::begin_request(std::uint64_t cycle) {
 void EvaluatorEndpoint::begin_finish() { session_->begin_cycle(); }
 
 bool EvaluatorEndpoint::work(std::uint64_t cycle) {
+  A2G_SPAN("evaluator.work", "party");
+  A2G_HIST_TIMER("party.evaluator.work_ns");
   bool is_final;
   std::size_t non_free;
   if (leader_ != nullptr) {
@@ -381,7 +397,10 @@ bool EvaluatorEndpoint::work(std::uint64_t cycle) {
     plan_ = planner_->finish(is_final);
     non_free = planner_->non_free_per_cycle();
   }
-  session_->eval_cycle(plan_, cycle);
+  {
+    A2G_SPAN("evaluator.eval", "party");
+    session_->eval_cycle(plan_, cycle);
+  }
   stats_.cycles++;
   stats_.non_xor_slots += non_free;
   stats_.garbled_non_xor += plan_.emitted;
@@ -398,9 +417,15 @@ void EvaluatorEndpoint::latch() {
   session_->latch(plan_);
 }
 
-void EvaluatorEndpoint::ot_refill_request() { session_->ot_maintain_request(); }
+void EvaluatorEndpoint::ot_refill_request() {
+  A2G_SPAN("evaluator.ot_refill_request", "party");
+  session_->ot_maintain_request();
+}
 
-void EvaluatorEndpoint::ot_refill_finish() { session_->ot_maintain_finish(); }
+void EvaluatorEndpoint::ot_refill_finish() {
+  A2G_SPAN("evaluator.ot_refill_finish", "party");
+  session_->ot_maintain_finish();
+}
 
 RunResult EvaluatorEndpoint::finish() {
   // The final cycle's output labels are the evaluator's last sends; flush

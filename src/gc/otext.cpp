@@ -6,6 +6,8 @@
 
 #include "crypto/transpose.h"
 #include "gc/otpre.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace arm2gc::gc {
 
@@ -242,6 +244,8 @@ class IknpOtSender final : public OtSender {
 
  private:
   void run_base(IknpSenderState& st) {
+    A2G_SPAN("ot.base", "ot");
+    A2G_COUNT("ot.base_runs");
     // Base phase, receiver-first: [sid][kappa seed pairs]. The sender keeps
     // only the seed its secret s_i selects (the unchosen one is discarded —
     // in-process ideal wiring; see the header note).
@@ -368,6 +372,8 @@ class IknpOtReceiver final : public OtReceiver {
 
  private:
   void run_base(IknpReceiverState& st) {
+    A2G_SPAN("ot.base", "ot");
+    A2G_COUNT("ot.base_runs");
     base_.clear();
     base_.reserve(1 + 2 * kOtKappa);
     st.sid_ = st.rng_.next_block();

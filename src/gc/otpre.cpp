@@ -3,6 +3,9 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace arm2gc::gc {
 
 namespace {
@@ -123,6 +126,9 @@ class PrecompOtSender final : public OtSender {
   /// surviving entries (the consumed prefix is compacted away first —
   /// identical bookkeeping on both sides keeps the pools in lock step).
   void refill(std::size_t n) {
+    A2G_SPAN("ot.pool_refill", "ot");
+    A2G_COUNT("ot.pool_refills");
+    A2G_HIST_TIMER("ot.pool_refill_ns");
     const std::uint64_t t0 = now_ns();
     RandomOtPoolSender& pool = *pool_;
     pool.pads_.erase(pool.pads_.begin(),
@@ -236,6 +242,9 @@ class PrecompOtReceiver final : public OtReceiver {
     if (refill_pending_) {
       throw std::logic_error("otpre: overlapping pool refills (schedule bug)");
     }
+    A2G_SPAN("ot.pool_refill_request", "ot");
+    A2G_COUNT("ot.pool_refills");
+    A2G_HIST_TIMER("ot.pool_refill_ns");
     const std::uint64_t t0 = now_ns();
     // The inner receiver runs its base phase inside request(), so the fold
     // window opens here, not at complete_refill().
@@ -258,6 +267,7 @@ class PrecompOtReceiver final : public OtReceiver {
 
   void complete_refill() {
     if (!refill_pending_) return;
+    A2G_SPAN("ot.pool_refill_complete", "ot");
     const std::uint64_t t0 = now_ns();
     inner_->finish();
     pool_->refills_++;

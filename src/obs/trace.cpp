@@ -1,0 +1,177 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace arm2gc::obs {
+
+namespace {
+
+// Writes export_json() output to `path` atomically enough for our use
+// (single writer, trailing newline, fsync not required).
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size() && std::fclose(f) == 0;
+  if (n != body.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+#if ARM2GC_OBS
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::uint64_t ts;
+  std::uint64_t dur;
+  std::uint32_t tid;
+};
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+struct Tracer::Buffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Tracer::State {
+  std::mutex mu;  ///< guards the buffer list, not the buffers
+  std::vector<std::unique_ptr<Buffer>> buffers;
+};
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();  // leaked: spans may fire in static dtors
+  return *t;
+}
+
+Tracer::State& Tracer::state() const {
+  static State* s = new State();
+  return *s;
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  thread_local Buffer* buf = nullptr;
+  if (buf == nullptr) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.buffers.push_back(std::make_unique<Buffer>());
+    buf = s.buffers.back().get();
+    buf->tid = static_cast<std::uint32_t>(s.buffers.size() - 1);
+  }
+  return *buf;
+}
+
+void Tracer::enable(ClockFn clock) {
+  clock_.store(clock, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+std::uint64_t Tracer::clock_ns() const noexcept {
+  const ClockFn fn = clock_.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn() : now_ns();
+}
+
+void Tracer::record(std::string_view name, std::string_view cat,
+                    std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  Buffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(TraceEvent{std::string(name), std::string(cat), ts_ns,
+                                  dur_ns, buf.tid});
+}
+
+void Tracer::clear() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& buf : s.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t n = 0;
+  for (auto& buf : s.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::string Tracer::export_json() const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char num[96];
+  for (auto& buf : s.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    for (const TraceEvent& e : buf->events) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":";
+      append_json_string(out, e.name);
+      out += ",\"cat\":";
+      append_json_string(out, e.cat);
+      // Chrome expects microsecond timestamps; keep ns precision in the
+      // fractional part.
+      std::snprintf(num, sizeof(num),
+                    ",\"ph\":\"X\",\"ts\":%" PRIu64 ".%03" PRIu64
+                    ",\"dur\":%" PRIu64 ".%03" PRIu64 ",\"pid\":1,\"tid\":%u}",
+                    e.ts / 1000, e.ts % 1000, e.dur / 1000, e.dur % 1000,
+                    e.tid);
+      out += num;
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool Tracer::export_to_file(const std::string& path) const {
+  return write_file(path, export_json());
+}
+
+#else  // !ARM2GC_OBS
+
+bool Tracer::export_to_file(const std::string& path) const {
+  return write_file(path, export_json());
+}
+
+#endif  // ARM2GC_OBS
+
+}  // namespace arm2gc::obs

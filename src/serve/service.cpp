@@ -18,6 +18,8 @@
 #include "crypto/block.h"
 #include "gc/transport.h"
 #include "gc/transport_socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/wire.h"
 
 namespace arm2gc::serve {
@@ -27,6 +29,9 @@ namespace {
 /// Protocol cycles a connection may run before yielding the shard back to
 /// its ready queue (fairness slice).
 constexpr std::uint64_t kSliceCycles = 8;
+
+/// A /metrics request larger than this is not a scrape; drop it.
+constexpr std::size_t kMaxHttpHeader = 8192;
 
 /// Static facts about one program that decide the park predicates.
 struct SpecFacts {
@@ -85,6 +90,10 @@ struct GarblerService::Impl {
     std::unique_ptr<core::WarmState> acquire(const std::string& key,
                                              const core::WarmState::Options& wopts,
                                              bool& hit) {
+      // Checkout latency covers both shapes: pool hit (lock + pop) and miss
+      // (full WarmState construction) — the cold-vs-marginal split the
+      // reusable-garbling cost model needs.
+      A2G_HIST_TIMER("serve.warm_checkout_ns");
       {
         const std::lock_guard<std::mutex> lock(mu_);
         auto it = pools_.find(key);
@@ -152,9 +161,54 @@ struct GarblerService::Impl {
     bool is_final = false;
     bool readable_hint = false;  ///< poller saw POLLIN since the last park
     core::RunResult result;
+    /// When the current phase was entered (dwell = time to the next enter(),
+    /// parked waits included — that is the point: dwell attributes p99 to
+    /// where connections actually sit).
+    std::uint64_t phase_enter_ns = obs::now_ns();
 
     [[nodiscard]] bool input_hint() const {
       return sock->buffered_in() > 0 || readable_hint;
+    }
+
+    [[nodiscard]] static const char* phase_label(Phase p) {
+      static constexpr const char* kNames[] = {
+          "serve.hello", "serve.start",  "serve.begin",  "serve.work",
+          "serve.sample", "serve.latch", "serve.refill", "serve.finish",
+          "serve.wrapup", "serve.drain"};
+      return kNames[static_cast<std::size_t>(p)];
+    }
+
+#if ARM2GC_OBS
+    [[nodiscard]] static obs::Histogram& phase_dwell_hist(Phase p) {
+      static obs::Histogram* const kHists[] = {
+          &obs::Registry::instance().histogram("serve.phase.hello_ns"),
+          &obs::Registry::instance().histogram("serve.phase.start_ns"),
+          &obs::Registry::instance().histogram("serve.phase.begin_ns"),
+          &obs::Registry::instance().histogram("serve.phase.work_ns"),
+          &obs::Registry::instance().histogram("serve.phase.sample_ns"),
+          &obs::Registry::instance().histogram("serve.phase.latch_ns"),
+          &obs::Registry::instance().histogram("serve.phase.refill_ns"),
+          &obs::Registry::instance().histogram("serve.phase.finish_ns"),
+          &obs::Registry::instance().histogram("serve.phase.wrapup_ns"),
+          &obs::Registry::instance().histogram("serve.phase.drain_ns")};
+      return *kHists[static_cast<std::size_t>(p)];
+    }
+#endif
+
+    /// Phase transition: records the outgoing phase's dwell (histogram
+    /// always, trace span when tracing is on), then switches.
+    void enter(Phase next) {
+#if ARM2GC_OBS
+      const std::uint64_t now = obs::now_ns();
+      phase_dwell_hist(phase).record(now - phase_enter_ns);
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        tracer.record(phase_label(phase), "serve", phase_enter_ns,
+                      now - phase_enter_ns);
+      }
+      phase_enter_ns = now;
+#endif
+      phase = next;
     }
 
     HelloStatus read_hello(Impl& impl) {
@@ -255,7 +309,7 @@ struct GarblerService::Impl {
                 .fetch_add(1, std::memory_order_relaxed);
             ep = std::make_unique<core::GarblerEndpoint>(*spec->nl, popts, sock->end(),
                                                          warm.get());
-            phase = Phase::Start;
+            enter(Phase::Start);
             break;
           }
           case Phase::Start: {
@@ -268,7 +322,7 @@ struct GarblerService::Impl {
             if (parks) readable_hint = false;
             ep->start(spec->alice_bits, spec->pub_bits, spec->streams);
             cycle = 0;
-            phase = Phase::Begin;
+            enter(Phase::Begin);
             break;
           }
           case Phase::Begin: {
@@ -277,12 +331,12 @@ struct GarblerService::Impl {
             if (parks && !input_hint()) return Waiting::Read;
             if (parks) readable_hint = false;
             ep->begin(cycle);
-            phase = Phase::Work;
+            enter(Phase::Work);
             break;
           }
           case Phase::Work: {
             is_final = ep->work(cycle);
-            phase = Phase::Sample;
+            enter(Phase::Sample);
             break;
           }
           case Phase::Sample: {
@@ -291,12 +345,12 @@ struct GarblerService::Impl {
             if (parks && !input_hint()) return Waiting::Read;
             if (parks) readable_hint = false;
             ep->sample();
-            phase = is_final ? Phase::Finish : Phase::Latch;
+            enter(is_final ? Phase::Finish : Phase::Latch);
             break;
           }
           case Phase::Latch: {
             ep->latch();
-            phase = Phase::Refill;
+            enter(Phase::Refill);
             break;
           }
           case Phase::Refill: {
@@ -309,7 +363,7 @@ struct GarblerService::Impl {
             if (parks) readable_hint = false;
             ep->ot_refill();
             ++cycle;
-            phase = Phase::Begin;
+            enter(Phase::Begin);
             if (++slice >= kSliceCycles) {
               slice = 0;
               return Waiting::Ready;
@@ -319,7 +373,7 @@ struct GarblerService::Impl {
           case Phase::Finish: {
             result = ep->finish();
             send_summary();
-            phase = Phase::WrapUp;
+            enter(Phase::WrapUp);
             break;
           }
           case Phase::WrapUp: {
@@ -335,7 +389,7 @@ struct GarblerService::Impl {
             // client.
             ep.reset();
             impl.warm.release(warm_key, std::move(warm));
-            phase = Phase::Drain;
+            enter(Phase::Drain);
             break;
           }
           case Phase::Drain: {
@@ -347,9 +401,23 @@ struct GarblerService::Impl {
     }
   };
 
+  /// One /metrics scrape in flight: a minimal non-blocking HTTP/1.1
+  /// request/response cycle on shard 0's poller. The SocketDuplex is used
+  /// purely as an fd owner — HTTP bytes go through raw recv/send and never
+  /// touch the framed transport.
+  struct HttpConn {
+    std::unique_ptr<gc::SocketDuplex> sock;
+    std::string in;
+    std::string out;
+    std::size_t off = 0;
+    std::uint64_t opened_ns = obs::now_ns();
+  };
+
   /// One event-loop thread: a private poller, a disjoint connection set
   /// (handed over once at accept through the inbox), a ready queue for
-  /// connections mid-slice. Shard 0 additionally owns the listener.
+  /// connections mid-slice. Shard 0 additionally owns the listener and,
+  /// when telemetry is enabled, the /metrics listener + scrape connections
+  /// and the periodic stats snapshot.
   struct Shard {
     Impl* impl;
     std::size_t index;
@@ -361,6 +429,9 @@ struct GarblerService::Impl {
     std::map<int, std::unique_ptr<Conn>> conns;
     std::deque<int> ready;
     std::vector<Poller::Event> events;
+    std::map<int, std::unique_ptr<HttpConn>> http;  ///< shard 0 only
+    std::uint64_t last_publish_ns = 0;
+    obs::Gauge* ready_depth_gauge = nullptr;  ///< per-shard ready-queue depth
 
     Shard(Impl* i, std::size_t idx) : impl(i), index(idx), poller(i->opts.poller) {
       int pipefd[2];
@@ -375,7 +446,14 @@ struct GarblerService::Impl {
       if (index == 0) {
         impl->listener->set_nonblocking(true);
         poller.add(impl->listener->fd(), /*want_read=*/true, /*want_write=*/false);
+        if (impl->metrics_listener != nullptr) {
+          impl->metrics_listener->set_nonblocking(true);
+          poller.add(impl->metrics_listener->fd(), /*want_read=*/true,
+                     /*want_write=*/false);
+        }
       }
+      ready_depth_gauge = &obs::Registry::instance().gauge(
+          "serve.shard" + std::to_string(index) + ".ready_depth");
     }
 
     ~Shard() {
@@ -526,6 +604,81 @@ struct GarblerService::Impl {
       }
     }
 
+    void accept_metrics() {
+      for (;;) {
+        std::unique_ptr<gc::SocketDuplex> sock = impl->metrics_listener->try_accept();
+        if (sock == nullptr) return;
+        sock->set_nonblocking(true);
+        const int fd = sock->fd();
+        auto hc = std::make_unique<HttpConn>();
+        hc->sock = std::move(sock);
+        poller.add(fd, /*want_read=*/true, /*want_write=*/false);
+        http.emplace(fd, std::move(hc));
+      }
+    }
+
+    void close_http(int fd) {
+      auto it = http.find(fd);
+      if (it == http.end()) return;
+      poller.del(fd);
+      http.erase(it);  // closes the socket fd
+    }
+
+    void drive_http(int fd) {
+      auto it = http.find(fd);
+      if (it == http.end()) return;
+      HttpConn& hc = *it->second;
+      if (hc.out.empty()) {
+        char buf[1024];
+        for (;;) {
+          const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+          if (n > 0) {
+            hc.in.append(buf, static_cast<std::size_t>(n));
+            if (hc.in.size() > kMaxHttpHeader) {
+              close_http(fd);
+              return;
+            }
+            continue;
+          }
+          if (n == 0) {  // peer closed before a full request
+            close_http(fd);
+            return;
+          }
+          if (errno == EINTR) continue;
+          break;  // EAGAIN: header may still be incomplete
+        }
+        if (hc.in.find("\r\n\r\n") == std::string::npos) return;  // need more
+        hc.out = impl->render_http_response(hc.in);
+        poller.mod(fd, /*want_read=*/false, /*want_write=*/true);
+      }
+      while (hc.off < hc.out.size()) {
+        const ssize_t n = ::send(fd, hc.out.data() + hc.off,
+                                 hc.out.size() - hc.off, MSG_NOSIGNAL);
+        if (n > 0) {
+          hc.off += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+        close_http(fd);
+        return;
+      }
+      close_http(fd);  // Connection: close — one scrape per connection
+    }
+
+    /// Drops scrape connections that never completed; the protocol recv
+    /// deadline doubles as the HTTP idle deadline.
+    void sweep_http(std::uint64_t now_ns) {
+      if (impl->opts.recv_timeout_ms <= 0) return;
+      const std::uint64_t limit =
+          static_cast<std::uint64_t>(impl->opts.recv_timeout_ms) * 1'000'000ull;
+      std::vector<int> stale;
+      for (const auto& [fd, hc] : http) {
+        if (now_ns - hc->opened_ns > limit) stale.push_back(fd);
+      }
+      for (int fd : stale) close_http(fd);
+    }
+
     void drain_wake_pipe() {
       char buf[64];
       for (;;) {
@@ -538,7 +691,17 @@ struct GarblerService::Impl {
 
     void run() {
       while (!impl->stopping.load(std::memory_order_acquire)) {
-        const int timeout = ready.empty() ? -1 : 0;
+        ready_depth_gauge->set(static_cast<std::int64_t>(ready.size()));
+        int timeout = ready.empty() ? -1 : 0;
+        if (index == 0 && timeout < 0) {
+          // Telemetry duties need a bounded sleep: the periodic snapshot,
+          // and sweeping scrape connections that never completed.
+          if (impl->opts.stats_interval_ms > 0) {
+            timeout = impl->opts.stats_interval_ms;
+          } else if (!http.empty()) {
+            timeout = 1000;
+          }
+        }
         poller.wait(events, timeout);
         for (const Poller::Event& e : events) {
           if (e.fd == wake_r) {
@@ -549,10 +712,30 @@ struct GarblerService::Impl {
             accept_pending();
             continue;
           }
+          if (index == 0 && impl->metrics_listener != nullptr &&
+              e.fd == impl->metrics_listener->fd()) {
+            accept_metrics();
+            continue;
+          }
+          if (http.find(e.fd) != http.end()) {
+            drive_http(e.fd);
+            continue;
+          }
           auto it = conns.find(e.fd);
           if (it == conns.end()) continue;
           if (e.readable || e.error) it->second->readable_hint = true;
           drive(e.fd);
+        }
+        if (index == 0) {
+          const std::uint64_t now = obs::now_ns();
+          if (impl->opts.stats_interval_ms > 0 &&
+              now - last_publish_ns >= static_cast<std::uint64_t>(
+                                           impl->opts.stats_interval_ms) *
+                                           1'000'000ull) {
+            impl->publish_stats();
+            last_publish_ns = now;
+          }
+          if (!http.empty()) sweep_http(now);
         }
         adopt_inbox();
         // One pass over the ready queue: each entry gets one more slice.
@@ -576,6 +759,7 @@ struct GarblerService::Impl {
   std::vector<SpecFacts> facts;
   ServiceOptions opts;
   std::unique_ptr<gc::SocketListener> listener;
+  std::unique_ptr<gc::SocketListener> metrics_listener;  ///< null = disabled
   WarmPool warm;
 
   std::atomic<bool> stopping{false};
@@ -609,6 +793,10 @@ struct GarblerService::Impl {
     }
     if (opts.shards == 0) opts.shards = 1;
     listener = std::make_unique<gc::SocketListener>(opts.host, opts.port);
+    if (opts.metrics_port >= 0) {
+      metrics_listener = std::make_unique<gc::SocketListener>(
+          opts.metrics_host, static_cast<std::uint16_t>(opts.metrics_port));
+    }
   }
 
   [[nodiscard]] const ProgramSpec* find_program(const std::string& name,
@@ -620,6 +808,66 @@ struct GarblerService::Impl {
       }
     }
     return nullptr;
+  }
+
+  /// Publishes the ServiceStats atomics into the obs registry as gauges, so
+  /// a /metrics scrape sees service-level counters next to the histograms.
+  void publish_stats() {
+    A2G_GAUGE_SET("serve.accepted",
+                  static_cast<std::int64_t>(accepted.load(std::memory_order_relaxed)));
+    A2G_GAUGE_SET("serve.hello_rejected",
+                  static_cast<std::int64_t>(hello_rejected.load(std::memory_order_relaxed)));
+    A2G_GAUGE_SET("serve.runs_ok",
+                  static_cast<std::int64_t>(runs_ok.load(std::memory_order_relaxed)));
+    A2G_GAUGE_SET("serve.runs_failed",
+                  static_cast<std::int64_t>(runs_failed.load(std::memory_order_relaxed)));
+    A2G_GAUGE_SET("serve.warm_hits",
+                  static_cast<std::int64_t>(warm_hits.load(std::memory_order_relaxed)));
+    A2G_GAUGE_SET("serve.warm_misses",
+                  static_cast<std::int64_t>(warm_misses.load(std::memory_order_relaxed)));
+    A2G_GAUGE_SET("serve.gates_garbled",
+                  static_cast<std::int64_t>(gates_garbled.load(std::memory_order_relaxed)));
+    A2G_GAUGE_SET("serve.cycles_run",
+                  static_cast<std::int64_t>(cycles_run.load(std::memory_order_relaxed)));
+    A2G_GAUGE_SET("serve.send_queue_high_water",
+                  static_cast<std::int64_t>(
+                      send_queue_high_water.load(std::memory_order_relaxed)));
+    A2G_GAUGE_SET("serve.active",
+                  static_cast<std::int64_t>(active.load(std::memory_order_relaxed)));
+  }
+
+  /// Builds the full HTTP/1.1 response for one scrape request. Only
+  /// `GET /metrics` serves the registry; anything else is a terse error.
+  [[nodiscard]] std::string render_http_response(const std::string& req) {
+    std::string method;
+    std::string path;
+    const std::size_t sp1 = req.find(' ');
+    if (sp1 != std::string::npos) {
+      method = req.substr(0, sp1);
+      const std::size_t sp2 = req.find(' ', sp1 + 1);
+      if (sp2 != std::string::npos) path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t q = path.find('?');
+      if (q != std::string::npos) path.resize(q);
+    }
+    std::string body;
+    const char* status = "200 OK";
+    if (method != "GET") {
+      status = "405 Method Not Allowed";
+      body = "method not allowed\n";
+    } else if (path == "/metrics") {
+      publish_stats();  // scrape-time snapshot, independent of the interval
+      obs::Registry::instance().render_prometheus(body);
+    } else {
+      status = "404 Not Found";
+      body = "not found; scrape /metrics\n";
+    }
+    std::string out = "HTTP/1.1 ";
+    out += status;
+    out += "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
   }
 
   void fold_high_water(std::uint64_t hw) {
@@ -675,6 +923,10 @@ void GarblerService::start() { impl_->start(); }
 void GarblerService::stop() { impl_->stop(); }
 
 std::uint16_t GarblerService::port() const { return impl_->listener->port(); }
+
+std::uint16_t GarblerService::metrics_port() const {
+  return impl_->metrics_listener != nullptr ? impl_->metrics_listener->port() : 0;
+}
 
 ServiceStats GarblerService::stats() const {
   ServiceStats s;

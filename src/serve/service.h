@@ -70,6 +70,17 @@ struct ServiceOptions {
   /// Inline-wait deadline for a stalled peer; expiry tears the run down.
   int recv_timeout_ms = 30'000;
   PollerBackend poller = PollerBackend::Default;
+  /// Live telemetry: bind a plain-HTTP /metrics listener (Prometheus text
+  /// exposition of the obs registry) served from shard 0's event loop.
+  /// -1 = disabled; 0 = ephemeral (GarblerService::metrics_port() reports
+  /// the bound port). The page renders whatever the obs registry holds —
+  /// under ARM2GC_OBS=OFF it degrades to a comment line plus the service
+  /// counters published at render time.
+  int metrics_port = -1;
+  std::string metrics_host = "127.0.0.1";
+  /// Shard 0 republishes ServiceStats into the obs registry every this-many
+  /// milliseconds; 0 = only when a /metrics page is rendered.
+  int stats_interval_ms = 0;
 };
 
 /// Monotonic service counters (all totals since start()).
@@ -102,6 +113,8 @@ class GarblerService {
   void stop();
 
   [[nodiscard]] std::uint16_t port() const;
+  /// Bound /metrics port, 0 when telemetry is disabled.
+  [[nodiscard]] std::uint16_t metrics_port() const;
   [[nodiscard]] ServiceStats stats() const;
 
  private:

@@ -36,6 +36,7 @@
 
 #include "arm/arm2gc.h"
 #include "arm/assembler.h"
+#include "obs/trace.h"
 #include "gc/transport_socket.h"
 #include "programs/programs.h"
 
@@ -59,6 +60,7 @@ struct Args {
   crypto::Block seed = core::kDefaultProtocolSeed;
   std::optional<crypto::Block> private_seed;
   arm::MemoryConfig cfg;  ///< used for --program <file.s> only
+  std::string trace_path;  ///< chrome://tracing JSON output
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -78,7 +80,8 @@ struct Args {
                "                                digests and byte counts match --threads 1\n"
                "  [--seed <32 hex>]             public protocol seed (must match peer)\n"
                "  [--private-seed <32 hex>|os]  this party's own randomness\n"
-               "  [--alice-words N --bob-words N --out-words N --imem-words N --ram-words N]\n");
+               "  [--alice-words N --bob-words N --out-words N --imem-words N --ram-words N]\n"
+               "  [--trace <path>]              chrome://tracing span export\n");
   std::exit(2);
 }
 
@@ -189,6 +192,8 @@ Args parse_args(int argc, char** argv) {
       a.cfg.imem_words = std::stoull(next(i), nullptr, 0);
     } else if (f == "--ram-words") {
       a.cfg.ram_words = std::stoull(next(i), nullptr, 0);
+    } else if (f == "--trace") {
+      a.trace_path = next(i);
     } else {
       usage(("unknown flag " + f).c_str());
     }
@@ -381,7 +386,15 @@ int main(int argc, char** argv) {
   try {
     const Args a = parse_args(argc, argv);
     const programs::Program prog = load_program(a);
-    return a.role == "local" ? run_local(a, prog) : run_party(a, prog);
+    if (!a.trace_path.empty()) obs::Tracer::instance().enable();
+    const int rc = a.role == "local" ? run_local(a, prog) : run_party(a, prog);
+    if (!a.trace_path.empty() &&
+        !obs::Tracer::instance().export_to_file(a.trace_path)) {
+      std::fprintf(stderr, "arm2gc_party: cannot write trace %s\n",
+                   a.trace_path.c_str());
+      return 1;
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "arm2gc_party: %s\n", e.what());
     return 1;

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "arm/arm2gc.h"
+#include "bench_util.h"
+#include "obs/trace.h"
 #include "programs/programs.h"
 #include "serve/client.h"
 #include "serve/service.h"
@@ -58,6 +60,10 @@ struct Args {
   std::size_t warm_pool = 4;
   std::uint64_t exit_after_runs = 0;  ///< serve: exit once this many runs finished
   std::size_t runs = 1;               ///< client: sequential runs on one warm state
+  int metrics_port = -1;              ///< serve: /metrics listener (-1 = off)
+  std::string metrics_host = "127.0.0.1";
+  int stats_interval_ms = 0;          ///< serve: periodic obs snapshot cadence
+  std::string trace_path;             ///< chrome://tracing JSON output
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -69,9 +75,11 @@ struct Args {
                "                  builtins: sum32 compare32 mult32 hamming160)\n"
                "          [--max-clients N] [--shards N] [--exec-threads N]\n"
                "          [--warm-pool N] [--exit-after-runs N]\n"
+               "          [--metrics-port N] [--metrics-host H] [--stats-interval-ms N]\n"
                "  client: --connect host:port --program <builtin> --input w,w,...\n"
                "          [--ot ideal|iknp|precomp] [--ot-pool N] [--runs N]\n"
-               "  common: [--max-cycles N] [--scheme halfgates|grr3|classic4]\n");
+               "  common: [--max-cycles N] [--scheme halfgates|grr3|classic4]\n"
+               "          [--json <path>] [--trace <path>]\n");
   std::exit(2);
 }
 
@@ -124,6 +132,16 @@ Args parse_args(int argc, char** argv) {
       a.warm_pool = std::stoull(next(i), nullptr, 0);
     } else if (f == "--exit-after-runs") {
       a.exit_after_runs = std::stoull(next(i), nullptr, 0);
+    } else if (f == "--metrics-port") {
+      a.metrics_port = static_cast<int>(std::stoul(next(i), nullptr, 0));
+    } else if (f == "--metrics-host") {
+      a.metrics_host = next(i);
+    } else if (f == "--stats-interval-ms") {
+      a.stats_interval_ms = static_cast<int>(std::stoul(next(i), nullptr, 0));
+    } else if (f == "--json") {
+      benchutil::json().set_path(next(i));
+    } else if (f == "--trace") {
+      a.trace_path = next(i);
     } else if (f == "--runs") {
       a.runs = std::stoull(next(i), nullptr, 0);
       if (a.runs == 0) usage("--runs must be nonzero");
@@ -202,10 +220,17 @@ int run_serve(const Args& a) {
   so.shards = a.shards;
   so.exec_threads = a.exec_threads;
   so.warm_pool = a.warm_pool;
+  so.metrics_port = a.metrics_port;
+  so.metrics_host = a.metrics_host;
+  so.stats_interval_ms = a.stats_interval_ms;
   serve::GarblerService service(std::move(specs), so);
   service.start();
   std::fprintf(stderr, "[serve] listening on %s:%u (%zu programs, %zu shards)\n",
                host.c_str(), service.port(), a.programs.size(), so.shards);
+  if (service.metrics_port() != 0) {
+    std::fprintf(stderr, "[serve] metrics on http://%s:%u/metrics\n",
+                 so.metrics_host.c_str(), service.metrics_port());
+  }
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -230,6 +255,8 @@ int run_serve(const Args& a) {
               static_cast<unsigned long long>(st.gates_garbled),
               static_cast<unsigned long long>(st.cycles_run),
               static_cast<unsigned long long>(st.send_queue_high_water));
+  benchutil::json_service_stats("serve", st);
+  if (benchutil::finish() != 0) return 1;
   return st.runs_failed == 0 ? 0 : 1;
 }
 
@@ -287,7 +314,14 @@ int run_client(const Args& a) {
               static_cast<unsigned long long>(comm.ot_bytes),
               static_cast<unsigned long long>(comm.output_bytes),
               static_cast<unsigned long long>(comm.total()));
-  return 0;
+  if (benchutil::json().enabled()) {
+    benchutil::json().add("client.program", pa.name);
+    benchutil::json().add("client.runs", static_cast<std::uint64_t>(a.runs));
+    benchutil::json().add("client.cycles", res.cycles);
+    benchutil::json().add("client.table_digest", res.table_digest.hex());
+    benchutil::json_stats("client", res.stats);
+  }
+  return benchutil::finish();
 }
 
 }  // namespace
@@ -295,7 +329,15 @@ int run_client(const Args& a) {
 int main(int argc, char** argv) {
   try {
     const Args a = parse_args(argc, argv);
-    return a.mode == "serve" ? run_serve(a) : run_client(a);
+    if (!a.trace_path.empty()) obs::Tracer::instance().enable();
+    const int rc = a.mode == "serve" ? run_serve(a) : run_client(a);
+    if (!a.trace_path.empty() &&
+        !obs::Tracer::instance().export_to_file(a.trace_path)) {
+      std::fprintf(stderr, "arm2gc_serve: cannot write trace %s\n",
+                   a.trace_path.c_str());
+      return 1;
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "arm2gc_serve: %s\n", e.what());
     return 1;
